@@ -1,0 +1,74 @@
+// CLAIM-DVFS (paper Sec. V): "an optimal selection of operating points can
+// save from 18% to 50% of node energy with respect to the default frequency
+// selection of the Linux OS power governor".
+//
+// The default (ondemand-style) governor runs a busy node at the highest
+// P-state. We sweep an HPC application mix — activity x memory-boundedness —
+// and report, per app, the node energy at the default OP vs the
+// energy-optimal OP (with steady-state thermal feedback), then the min/max
+// savings across the mix.
+#include <algorithm>
+
+#include "bench_common.hpp"
+#include "power/model.hpp"
+
+int main() {
+  using namespace antarex;
+  using namespace antarex::power;
+
+  bench::header("CLAIM-DVFS",
+                "optimal operating point vs default governor (node energy)");
+
+  const DeviceSpec spec = DeviceSpec::xeon_haswell();
+  NodeEnergyModel node{PowerModel(spec), 30.0};
+
+  struct App {
+    const char* name;
+    double activity;
+    double mem_fraction;  // at the top P-state
+  };
+  // A representative HPC mix: dense compute, stencils, sparse algebra,
+  // graph/streaming codes.
+  const App apps[] = {
+      {"scalar legacy code (low IPC)", 0.55, 0.05},
+      {"dense linear algebra (HPL-like)", 0.90, 0.05},
+      {"dense FFT", 0.85, 0.20},
+      {"stencil / CFD", 0.80, 0.40},
+      {"sparse solver (SpMV)", 0.75, 0.60},
+      {"graph analytics", 0.80, 0.75},
+      {"streaming / data movement", 0.90, 0.92},
+  };
+
+  Table t({"application", "default E (J)", "optimal E (J)", "optimal f (GHz)",
+           "savings"});
+  double min_savings = 1.0, max_savings = 0.0;
+  for (const App& app : apps) {
+    WorkloadModel w;
+    w.cpu_gcycles = 20.0;
+    w.cores_used = 12;
+    w.activity = app.activity;
+    const double t_cpu = w.cpu_gcycles / (spec.dvfs.highest().freq_ghz * 12.0);
+    w.mem_seconds = app.mem_fraction / (1.0 - app.mem_fraction + 1e-12) * t_cpu;
+
+    const double e_default =
+        node.energy_to_solution_j(w, spec.dvfs.highest(), 1.0);
+    const std::size_t opt = node.optimal_op_index(w);
+    const double e_opt = node.energy_to_solution_j(w, spec.dvfs.at(opt), 1.0);
+    const double savings = 1.0 - e_opt / e_default;
+    min_savings = std::min(min_savings, savings);
+    max_savings = std::max(max_savings, savings);
+
+    t.add_row({app.name, format("%.1f", e_default), format("%.1f", e_opt),
+               format("%.2f", spec.dvfs.at(opt).freq_ghz),
+               format("%.1f%%", 100.0 * savings)});
+  }
+  t.print();
+
+  bench::verdict(
+      "optimal OP saves 18% to 50% of node energy vs the default governor",
+      format("savings range %.1f%% .. %.1f%% across the app mix",
+             100.0 * min_savings, 100.0 * max_savings),
+      min_savings > 0.12 && min_savings < 0.30 && max_savings > 0.35 &&
+          max_savings < 0.55);
+  return 0;
+}

@@ -1,0 +1,67 @@
+// CLAIM-EXA (paper Sec. I): Exascale = 10^18 FLOPS within a 20-30 MW
+// envelope, i.e. >= 33-50 GFLOPS/W — while 2015-era heterogeneous systems
+// deliver ~7 GFLOPS/W ("two orders of magnitude lower" in the paper's loose
+// phrasing when measured against homogeneous technology).
+//
+// We extrapolate our node models to a full machine and report the efficiency
+// gap factors the ANTAREX software stack must help close.
+#include "bench_common.hpp"
+#include "power/cooling.hpp"
+#include "power/model.hpp"
+
+int main() {
+  using namespace antarex;
+  using namespace antarex::power;
+
+  bench::header("CLAIM-EXA", "extrapolation of node efficiency to Exascale");
+
+  constexpr double kExaflops = 1e9;  // GFLOPS
+  constexpr double kBudgetW = 20e6;
+  const double required_gflops_per_w = kExaflops / kBudgetW;  // 50
+
+  // Node-level achieved efficiencies from the same models used by
+  // bench_claim_green500.
+  struct Tech {
+    const char* name;
+    double gflops;
+    double watts;
+  };
+  const DeviceSpec cpu = DeviceSpec::xeon_haswell();
+  const DeviceSpec gpu = DeviceSpec::gpgpu();
+  PowerModel cpu_pm(cpu), gpu_pm(gpu);
+  const double cpu_gf = cpu.peak_gflops(cpu.dvfs.highest()) * 0.75;
+  const double cpu_w = cpu_pm.total_power_w(cpu.dvfs.highest(), 0.9, 70.0);
+  const double gpu_gf = gpu.peak_gflops(gpu.dvfs.highest()) * 0.72;
+  const double gpu_w = gpu_pm.total_power_w(gpu.dvfs.highest(), 0.9, 70.0);
+  const Tech techs[] = {
+      {"homogeneous node (2x Xeon)", 2 * cpu_gf, 2 * cpu_w + 80.0},
+      {"heterogeneous node (2x Xeon host + 4x GPGPU)",
+       4 * gpu_gf, 4 * gpu_w + 2 * cpu_pm.total_power_w(cpu.dvfs.lowest(), 0.25, 55.0) + 80.0},
+  };
+
+  CoolingModel cooling;
+  Table t({"technology", "GFLOPS/W (IT)", "machine power @1 EFLOPS (MW)",
+           "facility power w/ cooling (MW)", "gap to 20 MW"});
+  double het_gap = 0.0, homo_gap = 0.0;
+  for (const Tech& tech : techs) {
+    const double eff = tech.gflops / tech.watts;
+    const double machine_mw = kExaflops / eff / 1e6;
+    const double facility_mw = machine_mw * cooling.pue(machine_mw * 1e6, 18.0);
+    const double gap = facility_mw / 20.0;
+    t.add_row({tech.name, format("%.2f", eff), format("%.0f", machine_mw),
+               format("%.0f", facility_mw), format("%.0fx", gap)});
+    if (tech.gflops == 4 * gpu_gf) het_gap = gap;
+    else homo_gap = gap;
+  }
+  t.print();
+
+  std::printf("required: %.0f GFLOPS/W for 1 EFLOPS in 20 MW\n\n",
+              required_gflops_per_w);
+  bench::verdict(
+      "2015 technology is orders of magnitude short of the 20 MW Exascale "
+      "target (~7x for heterogeneous, ~20x+ for homogeneous IT alone)",
+      format("facility-level gap: heterogeneous %.0fx, homogeneous %.0fx",
+             het_gap, homo_gap),
+      het_gap > 5.0 && homo_gap > 15.0);
+  return 0;
+}

@@ -1,0 +1,47 @@
+// CLAIM-PUE (paper Sec. V, citing the MS3 scheduler [23]): "environmental
+// conditions, such as ambient temperature, can significantly change the
+// overall cooling efficiency of a supercomputer, causing more than 10% Power
+// usage effectiveness (PUE) loss when transitioning from winter to summer".
+//
+// The cooling-plant model is evaluated across the year; a 1 MW IT load is
+// held constant so all change comes from the chiller COP.
+#include "bench_common.hpp"
+#include "power/cooling.hpp"
+
+int main() {
+  using namespace antarex;
+  using namespace antarex::power;
+
+  bench::header("CLAIM-PUE", "seasonal ambient temperature vs PUE");
+
+  CoolingModel cooling;
+  const double it_w = 1e6;  // 1 MW machine
+
+  struct Season {
+    const char* name;
+    double ambient_c;
+  };
+  const Season seasons[] = {
+      {"winter (5 C)", 5.0},   {"spring (15 C)", 15.0},
+      {"summer (35 C)", 35.0}, {"autumn (18 C)", 18.0},
+  };
+
+  Table t({"season", "chiller COP", "cooling power (kW)", "PUE"});
+  double winter_pue = 0.0, summer_pue = 0.0;
+  for (const Season& s : seasons) {
+    const double pue = cooling.pue(it_w, s.ambient_c);
+    t.add_row({s.name, format("%.2f", cooling.cop(s.ambient_c)),
+               format("%.0f", cooling.cooling_power_w(it_w, s.ambient_c) / 1e3),
+               format("%.3f", pue)});
+    if (s.ambient_c == 5.0) winter_pue = pue;
+    if (s.ambient_c == 35.0) summer_pue = pue;
+  }
+  t.print();
+
+  const double loss = (summer_pue - winter_pue) / winter_pue;
+  bench::verdict(">10% PUE loss from winter to summer",
+                 format("PUE %.3f -> %.3f, +%.1f%%", winter_pue, summer_pue,
+                        100.0 * loss),
+                 loss > 0.10 && loss < 0.35);
+  return 0;
+}

@@ -1,0 +1,30 @@
+// Shared helpers for the ANTAREX claim/figure benchmarks.
+//
+// Every bench prints a REPRODUCTION table with the paper's number next to the
+// measured one plus a qualitative verdict, so `for b in build/bench/*; do $b;
+// done` produces the full EXPERIMENTS.md evidence.
+#pragma once
+
+#include <cstdio>
+#include <string>
+
+#include "support/strings.hpp"
+#include "support/table.hpp"
+
+namespace antarex::bench {
+
+inline void header(const std::string& id, const std::string& what) {
+  std::printf("\n================================================================\n");
+  std::printf("[%s] %s\n", id.c_str(), what.c_str());
+  std::printf("================================================================\n");
+}
+
+/// Prints one claim line: the paper's statement vs our measurement.
+inline void verdict(const std::string& paper, const std::string& measured,
+                    bool shape_holds) {
+  std::printf("paper:    %s\n", paper.c_str());
+  std::printf("measured: %s\n", measured.c_str());
+  std::printf("verdict:  %s\n", shape_holds ? "SHAPE REPRODUCED" : "MISMATCH");
+}
+
+}  // namespace antarex::bench

@@ -1,0 +1,117 @@
+// FIG4 (paper Figure 4): the SpecializeKernel dynamic aspect.
+//
+// Measures the runtime economics of dynamic specialization: one-off
+// specialization cost at the first in-range call, then per-call instruction
+// savings at steady state, across a range of runtime argument values.
+#include <chrono>
+
+#include "bench_common.hpp"
+#include "cir/parser.hpp"
+#include "dsl/weaver.hpp"
+#include "vm/engine.hpp"
+
+namespace {
+
+constexpr const char* kApp = R"(
+  int kernel(int size, int x) {
+    int s = 0;
+    for (int i = 0; i < size; i++) {
+      s = s + x * x - x;
+    }
+    return s;
+  }
+  int caller(int size, int x) { return kernel(size, x); }
+)";
+
+constexpr const char* kAspects = R"(
+  aspectdef UnrollInnermostLoops
+    input $func, threshold end
+    select $func.loop{type=='for'} end
+    apply
+      do LoopUnroll('full');
+    end
+    condition
+      $loop.isInnermost && $loop.numIter <= threshold
+    end
+  end
+
+  aspectdef SpecializeKernel
+    input lowT, highT end
+    call spCall: PrepareSpecialize('kernel','size');
+    select fCall{'kernel'}.arg{'size'} end
+    apply dynamic
+      call spOut : Specialize($fCall, $arg.name, $arg.runtimeValue);
+      call UnrollInnermostLoops(spOut.$func, $arg.runtimeValue);
+      call AddVersion(spCall, spOut.$func, $arg.runtimeValue);
+    end
+    condition
+      $arg.runtimeValue >= lowT &&
+      $arg.runtimeValue <= highT
+    end
+  end
+)";
+
+}  // namespace
+
+int main() {
+  using namespace antarex;
+
+  bench::header("FIG4", "SpecializeKernel dynamic aspect: per-value economics");
+
+  auto module = cir::parse_module(kApp);
+  vm::Engine engine;
+  engine.load_module(*module);
+  dsl::Weaver weaver(*module, &engine);
+  weaver.load_source(kAspects);
+  weaver.run("SpecializeKernel", {dsl::Val::num(2), dsl::Val::num(256)});
+
+  auto instr_for_call = [&](i64 size) {
+    engine.reset_instruction_count();
+    engine.call("caller", {vm::Value::from_int(size), vm::Value::from_int(3)});
+    return engine.executed_instructions();
+  };
+
+  Table t({"size", "in range", "1st call instr", "steady instr",
+           "generic instr", "steady saving", "specialize cost (ms)"});
+  for (i64 size : {8, 32, 128, 512}) {
+    const bool in_range = size >= 2 && size <= 256;
+
+    const auto t0 = std::chrono::steady_clock::now();
+    const u64 first = instr_for_call(size);
+    const auto t1 = std::chrono::steady_clock::now();
+    const double spec_ms =
+        std::chrono::duration<double, std::milli>(t1 - t0).count();
+
+    const u64 steady = instr_for_call(size);
+    // Generic cost: call with a never-specialized out-of-range neighbour of
+    // the same trip count is impossible; instead compute from the generic
+    // version directly by calling a size that is out of range (512) scaled.
+    // Simpler: temporary engine without the aspect.
+    auto vanilla = cir::parse_module(kApp);
+    vm::Engine plain;
+    plain.load_module(*vanilla);
+    plain.call("caller", {vm::Value::from_int(size), vm::Value::from_int(3)});
+    const u64 generic = plain.executed_instructions();
+
+    t.add_row({format("%lld", static_cast<long long>(size)),
+               in_range ? "yes" : "no",
+               format("%llu", static_cast<unsigned long long>(first)),
+               format("%llu", static_cast<unsigned long long>(steady)),
+               format("%llu", static_cast<unsigned long long>(generic)),
+               format("%.1f%%", 100.0 * (1.0 - static_cast<double>(steady) /
+                                                   static_cast<double>(generic))),
+               in_range ? format("%.2f", spec_ms) : std::string("-")});
+  }
+  t.print();
+
+  std::printf("installed versions: %zu; dynamic triggers: %zu\n\n",
+              engine.version_count("kernel"), weaver.stats().dynamic_triggers);
+
+  bench::verdict(
+      "runtime values in [lowT, highT] get specialized + unrolled variants "
+      "via the JIT manager's dispatch table",
+      "in-range sizes save 60%+ instructions at steady state; out-of-range "
+      "sizes keep generic cost",
+      engine.version_count("kernel") == 3 && weaver.stats().dynamic_triggers == 3);
+  return 0;
+}

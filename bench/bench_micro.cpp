@@ -1,0 +1,203 @@
+// Micro-benchmarks (google-benchmark) for the hot paths of the stack:
+// mini-C parsing, aspect weaving, select-chain evaluation, VM dispatch
+// (generic vs specialized), pass pipelines, routing queries, and docking
+// scoring. These back the per-stage cost numbers quoted in EXPERIMENTS.md.
+#include <benchmark/benchmark.h>
+
+#include "cir/parser.hpp"
+#include "dock/dock.hpp"
+#include "dsl/weaver.hpp"
+#include "nav/nav.hpp"
+#include "passes/pass_manager.hpp"
+#include "passes/specialize.hpp"
+#include "support/strings.hpp"
+#include "vm/compiler.hpp"
+#include "vm/engine.hpp"
+
+namespace {
+
+using namespace antarex;
+
+constexpr const char* kKernelSrc = R"(
+  double kernel(double* a, int n) {
+    double acc = 0.0;
+    for (int i = 0; i < n; i++) { acc = acc + a[i] * a[i]; }
+    return acc;
+  }
+)";
+
+void BM_MiniCParse(benchmark::State& state) {
+  for (auto _ : state) {
+    auto m = cir::parse_module(kKernelSrc);
+    benchmark::DoNotOptimize(m);
+  }
+}
+BENCHMARK(BM_MiniCParse);
+
+void BM_BytecodeCompile(benchmark::State& state) {
+  auto m = cir::parse_module(kKernelSrc);
+  for (auto _ : state) {
+    auto cf = vm::compile_function(*m->find("kernel"));
+    benchmark::DoNotOptimize(cf);
+  }
+}
+BENCHMARK(BM_BytecodeCompile);
+
+void BM_VmKernelCall(benchmark::State& state) {
+  auto m = cir::parse_module(kKernelSrc);
+  vm::Engine engine;
+  engine.load_module(*m);
+  auto buf = std::make_shared<std::vector<double>>(
+      static_cast<std::size_t>(state.range(0)), 1.5);
+  for (auto _ : state) {
+    auto v = engine.call("kernel", {vm::Value::from_float_array(buf),
+                                    vm::Value::from_int(state.range(0))});
+    benchmark::DoNotOptimize(v);
+  }
+  state.SetItemsProcessed(state.iterations() * state.range(0));
+}
+BENCHMARK(BM_VmKernelCall)->Arg(16)->Arg(256);
+
+void BM_AspectParse(benchmark::State& state) {
+  constexpr const char* src = R"(
+    aspectdef P
+      input f end
+      select fCall end
+      apply
+        insert before %{profile_args('[[f]]', '[[$fCall.location]]', [[$fCall.argList]]);}%;
+      end
+      condition $fCall.name == f end
+    end
+  )";
+  for (auto _ : state) {
+    auto lib = dsl::parse_aspects(src);
+    benchmark::DoNotOptimize(lib);
+  }
+}
+BENCHMARK(BM_AspectParse);
+
+void BM_WeaveProfileAspect(benchmark::State& state) {
+  std::string app;
+  for (int f = 0; f < 8; ++f)
+    app += format("int w%d(int a) { return a + %d; }\n", f, f);
+  app += "int run(int n) { int acc = 0;\n";
+  for (int s = 0; s < 32; ++s) app += format("  acc = acc + w%d(n);\n", s % 8);
+  app += "  return acc; }\n";
+  constexpr const char* aspect = R"(
+    aspectdef P
+      input f end
+      select fCall end
+      apply
+        insert before %{profile_args('[[f]]', '[[$fCall.location]]', [[$fCall.argList]]);}%;
+      end
+      condition $fCall.name == f end
+    end
+  )";
+  for (auto _ : state) {
+    state.PauseTiming();
+    auto m = cir::parse_module(app);
+    dsl::Weaver weaver(*m);
+    weaver.load_source(aspect);
+    state.ResumeTiming();
+    weaver.run("P", {dsl::Val::str("w0")});
+    benchmark::DoNotOptimize(weaver.stats().inserts);
+  }
+}
+BENCHMARK(BM_WeaveProfileAspect);
+
+void BM_PassPipeline(benchmark::State& state) {
+  for (auto _ : state) {
+    state.PauseTiming();
+    auto m = cir::parse_module(
+        "int f() { int s = 0; for (int i = 0; i < 16; i++) { s = s + i * 2 + 0; } "
+        "return s * 1; }");
+    state.ResumeTiming();
+    passes::PassManager pm(*m);
+    pm.add_pipeline("fold,unroll:16,fold,dce,strength");
+    pm.run_all();
+    benchmark::DoNotOptimize(m);
+  }
+}
+BENCHMARK(BM_PassPipeline);
+
+void BM_SpecializedDispatch(benchmark::State& state) {
+  auto m = cir::parse_module(
+      "int kernel(int size, int x) { int s = 0; "
+      "for (int i = 0; i < size; i++) s = s + x; return s; }");
+  vm::Engine engine;
+  engine.load_module(*m);
+  const bool specialized = state.range(0) != 0;
+  if (specialized) {
+    engine.prepare_specialize("kernel", 0);
+    cir::Function* v = passes::specialize_function(*m, "kernel", "size", 32);
+    passes::PassManager pm(*m);
+    pm.add_pipeline("fold,unroll:64,dce");
+    pm.run(*v);
+    engine.add_version("kernel", 32, vm::compile_function(*v));
+  }
+  for (auto _ : state) {
+    auto r = engine.call("kernel", {vm::Value::from_int(32), vm::Value::from_int(5)});
+    benchmark::DoNotOptimize(r);
+  }
+}
+BENCHMARK(BM_SpecializedDispatch)->Arg(0)->Arg(1);
+
+void BM_RoutingQuery(benchmark::State& state) {
+  Rng rng(5);
+  const nav::RoadGraph city = nav::RoadGraph::grid_city(rng, 32, 32);
+  nav::SpeedProfiles profiles;
+  const bool astar = state.range(0) != 0;
+  for (auto _ : state) {
+    auto r = nav::shortest_path_td(city, profiles, 0, 1023, 8.5 * 3600,
+                                   {astar, 1.0});
+    benchmark::DoNotOptimize(r);
+  }
+}
+BENCHMARK(BM_RoutingQuery)->Arg(0)->Arg(1);
+
+void BM_RoutingQueryAlt(benchmark::State& state) {
+  Rng rng(5);
+  const nav::RoadGraph city = nav::RoadGraph::grid_city(rng, 32, 32);
+  nav::SpeedProfiles profiles;
+  Rng lrng(6);
+  const nav::Landmarks lm(city, 8, lrng);
+  nav::QueryOptions opts{true, 1.0, &lm};
+  for (auto _ : state) {
+    auto r = nav::shortest_path_td(city, profiles, 0, 1023, 8.5 * 3600, opts);
+    benchmark::DoNotOptimize(r);
+  }
+}
+BENCHMARK(BM_RoutingQueryAlt);
+
+void BM_DockRefinePose(benchmark::State& state) {
+  Rng rng(9);
+  const dock::AffinityGrid grid = dock::AffinityGrid::synthetic_pocket(rng, 20);
+  const dock::Molecule mol = dock::random_ligand(rng, 30, 60);
+  dock::Pose start;
+  start.tx = start.ty = start.tz = 9.0;
+  dock::RefineParams params;
+  params.steps = 100;
+  for (auto _ : state) {
+    Rng r(11);
+    benchmark::DoNotOptimize(dock::refine_pose(grid, mol, start, params, r));
+  }
+}
+BENCHMARK(BM_DockRefinePose);
+
+void BM_DockScorePose(benchmark::State& state) {
+  Rng rng(9);
+  const dock::AffinityGrid grid = dock::AffinityGrid::synthetic_pocket(rng, 20);
+  const dock::Molecule mol = dock::random_ligand(rng, 30, 60);
+  dock::Pose pose;
+  pose.tx = pose.ty = pose.tz = 9.0;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(dock::score_pose(grid, mol, pose));
+  }
+  state.SetItemsProcessed(state.iterations() *
+                          static_cast<i64>(mol.atoms.size()));
+}
+BENCHMARK(BM_DockScorePose);
+
+}  // namespace
+
+BENCHMARK_MAIN();

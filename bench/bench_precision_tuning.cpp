@@ -1,0 +1,97 @@
+// ABL-PREC (paper Sec. IV): "customized precision has emerged as a promising
+// approach to achieve power/performance trade-offs when an application can
+// tolerate some loss of quality".
+//
+// Builds the energy/error Pareto front for the docking scoring kernel under
+// emulated reduced precision, then shows the tolerance-driven tuner picking
+// the cheapest level per quality bound.
+#include "bench_common.hpp"
+#include "dock/dock.hpp"
+#include "precision/precision.hpp"
+
+namespace {
+
+using namespace antarex;
+using namespace antarex::dock;
+using namespace antarex::precision;
+
+/// Score a set of poses with arithmetic rounded to the given width.
+double quantized_score(const AffinityGrid& grid, const Molecule& mol,
+                       const Pose& pose, int bits) {
+  double s = 0.0;
+  for (const auto& atom : mol.atoms) {
+    const auto p = transform(pose, atom);
+    const double v = quantize(grid.sample(quantize(p[0], bits), quantize(p[1], bits),
+                                          quantize(p[2], bits)),
+                              bits);
+    s = quantize(s + v * quantize(atom.radius, bits), bits);
+  }
+  return s;
+}
+
+}  // namespace
+
+int main() {
+  bench::header("ABL-PREC", "precision autotuning on docking scoring");
+
+  Rng rng(99);
+  const AffinityGrid grid = AffinityGrid::synthetic_pocket(rng, 20, 1.0, 2);
+  std::vector<Molecule> mols;
+  std::vector<Pose> poses;
+  Rng pose_rng(100);
+  for (int i = 0; i < 24; ++i) {
+    mols.push_back(random_ligand(rng, 10, 60));
+    Pose p;
+    p.rx = pose_rng.uniform(0, 6.28);
+    p.ry = pose_rng.uniform(0, 6.28);
+    p.rz = pose_rng.uniform(0, 6.28);
+    p.tx = pose_rng.uniform(4.0, 15.0);
+    p.ty = pose_rng.uniform(4.0, 15.0);
+    p.tz = pose_rng.uniform(4.0, 15.0);
+    poses.push_back(p);
+  }
+
+  // Reference scores at fp64.
+  std::vector<double> ref;
+  for (std::size_t i = 0; i < mols.size(); ++i)
+    ref.push_back(quantized_score(grid, mols[i], poses[i], 52));
+
+  auto mean_rel_error = [&](int bits) {
+    double err = 0.0;
+    for (std::size_t i = 0; i < mols.size(); ++i)
+      err += relative_error(ref[i], quantized_score(grid, mols[i], poses[i], bits));
+    return err / static_cast<double>(mols.size());
+  };
+
+  Table pareto({"level", "mantissa bits", "rel. energy/op", "rel. time/op",
+                "mean score error"});
+  for (const PrecisionLevel& l : standard_levels()) {
+    pareto.add_row({l.name, format("%d", l.mantissa_bits),
+                    format("%.2f", l.energy_per_op), format("%.2f", l.time_per_op),
+                    format("%.2e", mean_rel_error(l.mantissa_bits))});
+  }
+  pareto.print();
+
+  // Tolerance-driven selection.
+  Table picks({"quality tolerance", "chosen level", "energy saving",
+               "observed error"});
+  bool monotone = true;
+  double last_bits = 64;
+  for (double tol : {1e-12, 1e-6, 1e-3, 3e-2}) {
+    const PrecisionChoice c = tune_precision(
+        [&](const PrecisionLevel& l) { return mean_rel_error(l.mantissa_bits); },
+        tol);
+    picks.add_row({format("%.0e", tol), c.level.name,
+                   format("%.0f%%", 100.0 * c.energy_saving),
+                   format("%.2e", c.observed_error)});
+    if (c.level.mantissa_bits > last_bits) monotone = false;
+    last_bits = c.level.mantissa_bits;
+  }
+  picks.print();
+
+  bench::verdict(
+      "precision tuning trades bounded quality loss for large energy savings",
+      "looser tolerance -> monotonically narrower format and bigger savings",
+      monotone);
+  return 0;
+}

@@ -1,0 +1,120 @@
+// Use case 1 (paper Sec. VII-a): computer-accelerated drug discovery.
+//
+// A virtual-screening campaign: dock a library of ligands against a synthetic
+// receptor pocket. Per-ligand cost is heavy-tailed, so static partitioning
+// leaves workers idle; dynamic self-scheduling fixes that, and the ANTAREX
+// autotuner finds the batch size that balances queue overhead against
+// imbalance. Finally the campaign's energy is estimated on the simulated
+// CINECA-style heterogeneous node.
+//
+// Build & run:  ./build/examples/drug_discovery
+#include <algorithm>
+#include <cstdio>
+#include <memory>
+
+#include "dock/dock.hpp"
+#include "power/model.hpp"
+#include "support/strings.hpp"
+#include "support/table.hpp"
+#include "tuner/autotuner.hpp"
+
+int main() {
+  using namespace antarex;
+  using namespace antarex::dock;
+
+  std::puts("== ANTAREX use case 1: drug discovery (LiGen-style docking) ==\n");
+
+  // Receptor pocket + ligand library.
+  Rng rng(2016);
+  const AffinityGrid pocket = AffinityGrid::synthetic_pocket(rng, 24, 1.0, 3);
+  constexpr int kLigands = 400;
+  std::vector<Molecule> library;
+  library.reserve(kLigands);
+  for (int i = 0; i < kLigands; ++i) library.push_back(random_ligand(rng));
+
+  // Dock a sample to show real scores, and derive per-ligand costs.
+  DockParams params;
+  Rng pose_rng(7);
+  double best_score = 0.0;
+  int best_ligand = -1;
+  std::vector<double> costs;
+  costs.reserve(library.size());
+  for (int i = 0; i < kLigands; ++i) {
+    costs.push_back(ligand_cost_units(library[i], params));
+    if (i < 32) {  // full docking for a subset (keeps the example snappy)
+      const DockResult r = dock_ligand(pocket, library[i], params, pose_rng);
+      if (r.best_score < best_score) {
+        best_score = r.best_score;
+        best_ligand = i;
+      }
+    }
+  }
+  std::printf("docked 32/%d ligands exhaustively; best score %.2f (ligand %d)\n",
+              kLigands, best_score, best_ligand);
+
+  const auto [min_it, max_it] = std::minmax_element(costs.begin(), costs.end());
+  std::printf("per-ligand cost spread: %.2f .. %.2f units (%.0fx)\n\n", *min_it,
+              *max_it, *max_it / *min_it);
+
+  // --- Load balancing: the paper's "dynamic load balancing is critical". ----
+  constexpr int kWorkers = 16;
+  const double overhead = 0.3;  // per-pull queue cost (units)
+
+  Table t({"strategy", "makespan", "imbalance", "queue pulls"});
+  const ScheduleResult stat = schedule_static(costs, kWorkers);
+  t.add_row({"static partition", format("%.1f", stat.makespan),
+             format("%.2f", stat.imbalance), "0"});
+  const ScheduleResult dyn1 = schedule_dynamic(costs, kWorkers, 1, overhead);
+  t.add_row({"dynamic batch=1", format("%.1f", dyn1.makespan),
+             format("%.2f", dyn1.imbalance),
+             format("%llu", static_cast<unsigned long long>(dyn1.steals_or_pulls))});
+
+  // --- Autotune the batch size. ---------------------------------------------
+  tuner::DesignSpace space;
+  space.add_knob({"batch", {1, 2, 4, 8, 16, 32, 64}});
+  tuner::Autotuner tuner(std::move(space),
+                         std::make_unique<tuner::FullSearchStrategy>());
+  for (int i = 0; i < 10; ++i) {
+    const auto& cfg = tuner.next_configuration();
+    const int batch = static_cast<int>(tuner.space().value(cfg, "batch"));
+    const ScheduleResult r = schedule_dynamic(costs, kWorkers, batch, overhead);
+    tuner.report({{"time_s", r.makespan}});
+  }
+  const auto best_cfg = tuner.best();
+  const int best_batch = static_cast<int>(tuner.space().value(*best_cfg, "batch"));
+  const ScheduleResult tuned = schedule_dynamic(costs, kWorkers, best_batch, overhead);
+  t.add_row({format("dynamic batch=%d (autotuned)", best_batch),
+             format("%.1f", tuned.makespan), format("%.2f", tuned.imbalance),
+             format("%llu", static_cast<unsigned long long>(tuned.steals_or_pulls))});
+  t.print();
+
+  std::printf("\ndynamic vs static speedup: %.2fx; autotuning recovers %.1f%% "
+              "over batch=1\n",
+              stat.makespan / tuned.makespan,
+              100.0 * (1.0 - tuned.makespan / dyn1.makespan));
+
+  // --- Energy estimate on a heterogeneous node. ------------------------------
+  // The same campaign on CPU vs GPU (tasks are "more efficient on different
+  // types of processors"): GFLOP-equivalent work mapped through each device.
+  using namespace antarex::power;
+  double total_units = 0.0;
+  for (double c : costs) total_units += c;
+
+  // Docking throughput (work units per second) is taken from the paper's
+  // premise that accelerators run these kernels ~3x faster; power comes from
+  // each device's model at full tilt.
+  auto energy_for = [&](const DeviceSpec& spec, double units_per_s) {
+    PowerModel pm(spec);
+    const auto& op = spec.dvfs.highest();
+    const double t = total_units / units_per_s;
+    return std::pair<double, double>(t, pm.total_power_w(op, 0.85, 65.0) * t);
+  };
+  const auto [t_cpu, e_cpu] = energy_for(DeviceSpec::xeon_haswell(), 450.0);
+  const auto [t_gpu, e_gpu] = energy_for(DeviceSpec::gpgpu(), 1350.0);
+  std::printf("\ncampaign on CPU socket: %.1f s, %.0f J | on GPGPU: %.1f s, %.0f J "
+              "(%.1fx less energy)\n",
+              t_cpu, e_cpu, t_gpu, e_gpu, e_cpu / e_gpu);
+
+  std::puts("\ndrug_discovery done.");
+  return 0;
+}

@@ -1,0 +1,268 @@
+#include "cir/printer.hpp"
+
+#include "support/strings.hpp"
+
+namespace antarex::cir {
+
+namespace {
+
+int precedence(BinOp op) {
+  switch (op) {
+    case BinOp::Or: return 1;
+    case BinOp::And: return 2;
+    case BinOp::Eq:
+    case BinOp::Ne: return 3;
+    case BinOp::Lt:
+    case BinOp::Le:
+    case BinOp::Gt:
+    case BinOp::Ge: return 4;
+    case BinOp::Add:
+    case BinOp::Sub: return 5;
+    case BinOp::Mul:
+    case BinOp::Div:
+    case BinOp::Mod: return 6;
+  }
+  return 0;
+}
+
+void print_expr(const Expr& e, std::string& out, int parent_prec);
+
+void print_operand(const Expr& e, std::string& out, int parent_prec) {
+  print_expr(e, out, parent_prec);
+}
+
+void print_expr(const Expr& e, std::string& out, int parent_prec) {
+  switch (e.kind) {
+    case ExprKind::IntLit:
+      out += format("%lld", static_cast<long long>(static_cast<const IntLit&>(e).value));
+      break;
+    case ExprKind::FloatLit: {
+      const double v = static_cast<const FloatLit&>(e).value;
+      std::string s = format("%g", v);
+      // Keep float literals lexically float so they round-trip.
+      if (s.find('.') == std::string::npos && s.find('e') == std::string::npos &&
+          s.find("inf") == std::string::npos && s.find("nan") == std::string::npos)
+        s += ".0";
+      out += s;
+      break;
+    }
+    case ExprKind::StrLit: {
+      out += '"';
+      for (char c : static_cast<const StrLit&>(e).value) {
+        switch (c) {
+          case '\n': out += "\\n"; break;
+          case '\t': out += "\\t"; break;
+          case '\\': out += "\\\\"; break;
+          case '"': out += "\\\""; break;
+          default: out += c;
+        }
+      }
+      out += '"';
+      break;
+    }
+    case ExprKind::VarRef:
+      out += static_cast<const VarRef&>(e).name;
+      break;
+    case ExprKind::Unary: {
+      const auto& u = static_cast<const UnaryExpr&>(e);
+      out += unop_name(u.op);
+      const bool need_paren = u.operand->kind == ExprKind::Binary;
+      if (need_paren) out += '(';
+      print_expr(*u.operand, out, 100);
+      if (need_paren) out += ')';
+      break;
+    }
+    case ExprKind::Binary: {
+      const auto& b = static_cast<const BinaryExpr&>(e);
+      const int prec = precedence(b.op);
+      const bool need_paren = prec < parent_prec;
+      if (need_paren) out += '(';
+      print_operand(*b.lhs, out, prec);
+      out += ' ';
+      out += binop_name(b.op);
+      out += ' ';
+      // Right operand gets prec+1: conservative parenthesization for
+      // non-associative operators (a - (b - c)).
+      print_operand(*b.rhs, out, prec + 1);
+      if (need_paren) out += ')';
+      break;
+    }
+    case ExprKind::Call: {
+      const auto& c = static_cast<const CallExpr&>(e);
+      out += c.callee;
+      out += '(';
+      for (std::size_t i = 0; i < c.args.size(); ++i) {
+        if (i) out += ", ";
+        print_expr(*c.args[i], out, 0);
+      }
+      out += ')';
+      break;
+    }
+    case ExprKind::Index: {
+      const auto& ix = static_cast<const IndexExpr&>(e);
+      print_expr(*ix.base, out, 100);
+      out += '[';
+      print_expr(*ix.index, out, 0);
+      out += ']';
+      break;
+    }
+  }
+}
+
+std::string indent_str(int n) { return std::string(static_cast<std::size_t>(n) * 2, ' '); }
+
+void print_stmt(const Stmt& s, std::string& out, int indent);
+
+void print_block_body(const Block& b, std::string& out, int indent) {
+  out += "{\n";
+  for (const auto& st : b.stmts) print_stmt(*st, out, indent + 1);
+  out += indent_str(indent) + "}";
+}
+
+/// Prints a statement without leading indent / trailing newline / ';'
+/// (for use inside for-headers).
+std::string inline_stmt(const Stmt& s) {
+  std::string out;
+  switch (s.kind) {
+    case StmtKind::VarDecl: {
+      const auto& d = static_cast<const VarDeclStmt&>(s);
+      out += type_name(d.type);
+      out += ' ';
+      out += d.name;
+      if (d.init) {
+        out += " = ";
+        print_expr(*d.init, out, 0);
+      }
+      break;
+    }
+    case StmtKind::Assign: {
+      const auto& a = static_cast<const AssignStmt&>(s);
+      print_expr(*a.target, out, 0);
+      out += " = ";
+      print_expr(*a.value, out, 0);
+      break;
+    }
+    case StmtKind::ExprStmt:
+      print_expr(*static_cast<const ExprStmt&>(s).expr, out, 0);
+      break;
+    default:
+      ANTAREX_CHECK(false, "inline_stmt: unsupported statement kind in for-header");
+  }
+  return out;
+}
+
+void print_stmt(const Stmt& s, std::string& out, int indent) {
+  out += indent_str(indent);
+  switch (s.kind) {
+    case StmtKind::Block:
+      print_block_body(static_cast<const Block&>(s), out, indent);
+      out += '\n';
+      break;
+    case StmtKind::ExprStmt:
+      print_expr(*static_cast<const ExprStmt&>(s).expr, out, 0);
+      out += ";\n";
+      break;
+    case StmtKind::VarDecl:
+      out += inline_stmt(s);
+      out += ";\n";
+      break;
+    case StmtKind::Assign:
+      out += inline_stmt(s);
+      out += ";\n";
+      break;
+    case StmtKind::If: {
+      const auto& i = static_cast<const IfStmt&>(s);
+      out += "if (";
+      print_expr(*i.cond, out, 0);
+      out += ") ";
+      print_block_body(*i.then_block, out, indent);
+      if (i.else_block) {
+        out += " else ";
+        print_block_body(*i.else_block, out, indent);
+      }
+      out += '\n';
+      break;
+    }
+    case StmtKind::For: {
+      const auto& f = static_cast<const ForStmt&>(s);
+      out += "for (";
+      if (f.init) out += inline_stmt(*f.init);
+      out += "; ";
+      if (f.cond) print_expr(*f.cond, out, 0);
+      out += "; ";
+      if (f.step) out += inline_stmt(*f.step);
+      out += ") ";
+      print_block_body(*f.body, out, indent);
+      out += '\n';
+      break;
+    }
+    case StmtKind::While: {
+      const auto& w = static_cast<const WhileStmt&>(s);
+      out += "while (";
+      print_expr(*w.cond, out, 0);
+      out += ") ";
+      print_block_body(*w.body, out, indent);
+      out += '\n';
+      break;
+    }
+    case StmtKind::Return: {
+      const auto& r = static_cast<const ReturnStmt&>(s);
+      out += "return";
+      if (r.value) {
+        out += ' ';
+        print_expr(*r.value, out, 0);
+      }
+      out += ";\n";
+      break;
+    }
+    case StmtKind::Break:
+      out += "break;\n";
+      break;
+    case StmtKind::Continue:
+      out += "continue;\n";
+      break;
+  }
+}
+
+}  // namespace
+
+std::string to_source(const Expr& e) {
+  std::string out;
+  print_expr(e, out, 0);
+  return out;
+}
+
+std::string to_source(const Stmt& s, int indent) {
+  std::string out;
+  print_stmt(s, out, indent);
+  return out;
+}
+
+std::string to_source(const Function& f) {
+  std::string out;
+  out += type_name(f.return_type);
+  out += ' ';
+  out += f.name;
+  out += '(';
+  for (std::size_t i = 0; i < f.params.size(); ++i) {
+    if (i) out += ", ";
+    out += type_name(f.params[i].type);
+    out += ' ';
+    out += f.params[i].name;
+  }
+  out += ") ";
+  print_block_body(*f.body, out, 0);
+  out += '\n';
+  return out;
+}
+
+std::string to_source(const Module& m) {
+  std::string out;
+  for (std::size_t i = 0; i < m.functions.size(); ++i) {
+    if (i) out += '\n';
+    out += to_source(*m.functions[i]);
+  }
+  return out;
+}
+
+}  // namespace antarex::cir

@@ -1,0 +1,19 @@
+// Pretty-printer: AST back to mini-C source.
+//
+// The weaver is a source-to-source tool (Figure 1: "S2S Compiler and
+// Weaver" emits "C/C++ w/ OpenMP, MPI, OpenCL API"); this printer is the
+// emission side. Round-tripping (parse → print → parse) is covered by tests.
+#pragma once
+
+#include <string>
+
+#include "cir/ast.hpp"
+
+namespace antarex::cir {
+
+std::string to_source(const Expr& e);
+std::string to_source(const Stmt& s, int indent = 0);
+std::string to_source(const Function& f);
+std::string to_source(const Module& m);
+
+}  // namespace antarex::cir

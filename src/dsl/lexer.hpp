@@ -1,0 +1,45 @@
+// Lexer for the ANTAREX DSL (LARA-inspired aspect language).
+#pragma once
+
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "support/common.hpp"
+
+namespace antarex::dsl {
+
+enum class DTok {
+  End,
+  Ident,        // aspect/selector/attribute names
+  DollarIdent,  // $fCall, $loop, $arg, $func ... (text includes the '$')
+  Num,
+  Str,          // 'single' or "double" quoted
+  Template,     // %{ ... }% (text is the raw template body)
+  // punctuation
+  LParen, RParen, LBrace, RBrace,
+  Dot, Comma, Semi, Colon,
+  // operators
+  Assign, Eq, Ne, Lt, Le, Gt, Ge,
+  AndAnd, OrOr, Not,
+  Plus, Minus, Star, Slash, Percent,
+  // keywords
+  KwAspectdef, KwEnd, KwInput, KwOutput, KwSelect, KwApply, KwCondition,
+  KwCall, KwDo, KwInsert, KwBefore, KwAfter, KwDynamic, KwVar,
+  KwTrue, KwFalse, KwNull,
+};
+
+const char* dtok_name(DTok t);
+
+struct DToken {
+  DTok kind = DTok::End;
+  std::string text;
+  double num = 0.0;
+  int line = 0;
+  int col = 0;
+};
+
+/// Tokenizes DSL source; throws antarex::Error on malformed input.
+std::vector<DToken> dsl_lex(std::string_view source);
+
+}  // namespace antarex::dsl

@@ -1,0 +1,111 @@
+#include "dsl/value.hpp"
+
+#include <cmath>
+
+#include "support/strings.hpp"
+
+namespace antarex::dsl {
+
+Val Val::boolean(bool b) {
+  Val v;
+  v.v_ = b;
+  return v;
+}
+
+Val Val::num(double d) {
+  Val v;
+  v.v_ = d;
+  return v;
+}
+
+Val Val::str(std::string s) {
+  Val v;
+  v.v_ = StrBox{std::move(s), false};
+  return v;
+}
+
+Val Val::code(std::string s) {
+  Val v;
+  v.v_ = StrBox{std::move(s), true};
+  return v;
+}
+
+Val Val::join_point(std::shared_ptr<JoinPoint> jp) {
+  ANTAREX_REQUIRE(jp != nullptr, "Val: null join point");
+  Val v;
+  v.v_ = std::move(jp);
+  return v;
+}
+
+Val Val::record(std::shared_ptr<Record> r) {
+  ANTAREX_REQUIRE(r != nullptr, "Val: null record");
+  Val v;
+  v.v_ = std::move(r);
+  return v;
+}
+
+bool Val::as_bool() const {
+  if (is_null()) return false;
+  if (is_bool()) return std::get<bool>(v_);
+  if (is_num()) return std::get<double>(v_) != 0.0;
+  if (is_str() || is_code()) return !std::get<StrBox>(v_).s.empty();
+  return true;  // join points and records are truthy
+}
+
+double Val::as_num() const {
+  if (is_num()) return std::get<double>(v_);
+  if (is_bool()) return std::get<bool>(v_) ? 1.0 : 0.0;
+  throw Error("dsl: value is not a number: " + to_string());
+}
+
+const std::string& Val::as_str() const {
+  ANTAREX_REQUIRE(std::holds_alternative<StrBox>(v_),
+                  "dsl: value is not a string: " + to_string());
+  return std::get<StrBox>(v_).s;
+}
+
+std::shared_ptr<JoinPoint> Val::as_join_point() const {
+  ANTAREX_REQUIRE(is_join_point(), "dsl: value is not a join point: " + to_string());
+  return std::get<std::shared_ptr<JoinPoint>>(v_);
+}
+
+std::shared_ptr<Record> Val::as_record() const {
+  ANTAREX_REQUIRE(is_record(), "dsl: value is not a record: " + to_string());
+  return std::get<std::shared_ptr<Record>>(v_);
+}
+
+bool Val::equals(const Val& other) const {
+  if ((is_num() || is_bool()) && (other.is_num() || other.is_bool()))
+    return as_num() == other.as_num();
+  if (std::holds_alternative<StrBox>(v_) &&
+      std::holds_alternative<StrBox>(other.v_))
+    return std::get<StrBox>(v_).s == std::get<StrBox>(other.v_).s;
+  if (is_null() || other.is_null()) return is_null() && other.is_null();
+  if (is_join_point() && other.is_join_point())
+    return std::get<std::shared_ptr<JoinPoint>>(v_) ==
+           std::get<std::shared_ptr<JoinPoint>>(other.v_);
+  return false;
+}
+
+std::string Val::to_string() const {
+  if (is_null()) return "null";
+  if (is_bool()) return std::get<bool>(v_) ? "true" : "false";
+  if (is_num()) {
+    const double d = std::get<double>(v_);
+    if (std::floor(d) == d && std::fabs(d) < 1e15)
+      return format("%lld", static_cast<long long>(d));
+    return format("%g", d);
+  }
+  if (std::holds_alternative<StrBox>(v_)) return std::get<StrBox>(v_).s;
+  if (is_join_point()) return "<joinpoint>";
+  return "<record>";
+}
+
+std::string Val::to_splice() const {
+  if (is_str()) return "\"" + std::get<StrBox>(v_).s + "\"";
+  if (is_code()) return std::get<StrBox>(v_).s;
+  if (is_bool()) return std::get<bool>(v_) ? "1" : "0";
+  return to_string();
+}
+
+}  // namespace antarex::dsl

@@ -1,0 +1,71 @@
+// Values of the ANTAREX DSL expression language.
+//
+// Aspects compute over a small dynamic value universe: null, booleans,
+// numbers, strings, raw code fragments (spliced verbatim into %{...}%
+// templates), join-point references, and records (the named outputs of
+// builtin actions and called aspects, e.g. `spOut.$func` in Figure 4).
+#pragma once
+
+#include <map>
+#include <memory>
+#include <string>
+#include <variant>
+
+#include "support/common.hpp"
+
+namespace antarex::dsl {
+
+struct JoinPoint;  // defined in joinpoint.hpp
+class Val;
+
+using Record = std::map<std::string, Val>;
+
+class Val {
+ public:
+  Val() : v_(nullptr) {}
+  static Val null() { return Val(); }
+  static Val boolean(bool b);
+  static Val num(double d);
+  static Val str(std::string s);
+  /// Raw code fragment: splices into templates without quoting.
+  static Val code(std::string s);
+  static Val join_point(std::shared_ptr<JoinPoint> jp);
+  static Val record(std::shared_ptr<Record> r);
+
+  bool is_null() const { return std::holds_alternative<std::nullptr_t>(v_); }
+  bool is_bool() const { return std::holds_alternative<bool>(v_); }
+  bool is_num() const { return std::holds_alternative<double>(v_); }
+  bool is_str() const { return std::holds_alternative<StrBox>(v_) && !std::get<StrBox>(v_).raw; }
+  bool is_code() const { return std::holds_alternative<StrBox>(v_) && std::get<StrBox>(v_).raw; }
+  bool is_join_point() const { return std::holds_alternative<std::shared_ptr<JoinPoint>>(v_); }
+  bool is_record() const { return std::holds_alternative<std::shared_ptr<Record>>(v_); }
+
+  bool as_bool() const;           ///< truthiness (null/false/0/"" are false)
+  double as_num() const;          ///< throws unless numeric or bool
+  const std::string& as_str() const;  ///< string or code content
+  std::shared_ptr<JoinPoint> as_join_point() const;
+  std::shared_ptr<Record> as_record() const;
+
+  /// Equality used by `==` in aspect conditions: numeric compare for numbers
+  /// and bools, text compare for strings/code, identity for join points.
+  bool equals(const Val& other) const;
+
+  /// Rendering for diagnostics and `[[...]]` template splices of non-string
+  /// values (numbers print integral when exact).
+  std::string to_string() const;
+
+  /// Splice form: strings paste as mini-C string literals ("..."), code
+  /// fragments paste raw, numbers paste as literals.
+  std::string to_splice() const;
+
+ private:
+  struct StrBox {
+    std::string s;
+    bool raw = false;  // true: code fragment
+  };
+  std::variant<std::nullptr_t, bool, double, StrBox,
+               std::shared_ptr<JoinPoint>, std::shared_ptr<Record>>
+      v_;
+};
+
+}  // namespace antarex::dsl

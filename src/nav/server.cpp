@@ -1,0 +1,98 @@
+#include "nav/server.hpp"
+
+#include <algorithm>
+#include <queue>
+
+namespace antarex::nav {
+
+NavServer::NavServer(const RoadGraph& graph, const SpeedProfiles& profiles,
+                     double cost_per_expansion_s, int workers)
+    : graph_(graph),
+      profiles_(profiles),
+      unit_cost_s_(cost_per_expansion_s),
+      workers_(workers) {
+  ANTAREX_REQUIRE(unit_cost_s_ > 0.0, "NavServer: non-positive unit cost");
+  ANTAREX_REQUIRE(workers_ >= 1, "NavServer: need at least one worker");
+}
+
+std::vector<ServedRequest> NavServer::serve(const std::vector<Request>& requests,
+                                            const Policy& policy,
+                                            const Observer& observer) {
+  ANTAREX_REQUIRE(policy != nullptr, "NavServer: null policy");
+  for (std::size_t i = 1; i < requests.size(); ++i)
+    ANTAREX_REQUIRE(requests[i].arrival_s >= requests[i - 1].arrival_s,
+                    "NavServer: requests must be sorted by arrival");
+
+  std::vector<ServedRequest> out;
+  out.reserve(requests.size());
+
+  // Worker pool as a min-heap of next-free times.
+  std::priority_queue<double, std::vector<double>, std::greater<>> free_at;
+  for (int w = 0; w < workers_; ++w) free_at.push(0.0);
+
+  // Queue length accounting: arrivals not yet started.
+  std::vector<double> start_times;
+
+  for (const Request& req : requests) {
+    const double worker_free = free_at.top();
+    free_at.pop();
+    const double start = std::max(req.arrival_s, worker_free);
+
+    // Queue length seen on arrival: requests that started after this arrival
+    // is an approximation; use backlog = number of pending starts > arrival.
+    std::size_t backlog = 0;
+    for (double s : start_times)
+      if (s > req.arrival_s) ++backlog;
+
+    const ServerKnobs knobs = policy(backlog, req.arrival_s);
+    ANTAREX_REQUIRE(knobs.k_routes >= 1, "NavServer: policy produced k < 1");
+
+    // Run the actual routing computation.
+    ServedRequest served;
+    served.request = req;
+    served.knobs_used = knobs;
+
+    u64 expanded = 0;
+    Route primary;
+    if (knobs.k_routes == 1) {
+      primary = shortest_path_td(graph_, profiles_, req.from, req.to,
+                                 req.arrival_s, knobs.opts);
+      expanded = primary.expanded;
+    } else {
+      auto routes = k_alternatives(graph_, profiles_, req.from, req.to,
+                                   req.arrival_s, knobs.k_routes, 1.3, knobs.opts);
+      for (const auto& r : routes) expanded += r.expanded;
+      if (!routes.empty()) primary = routes.front();
+    }
+    served.expanded = expanded;
+    served.service_s = static_cast<double>(expanded) * unit_cost_s_;
+    served.queue_wait_s = start - req.arrival_s;
+    served.latency_s = served.queue_wait_s + served.service_s;
+
+    // Quality: exact optimum / returned time. epsilon == 1 with A* is
+    // admissible, so only inflated searches can lose quality.
+    if (primary.found()) {
+      if (knobs.opts.epsilon > 1.0) {
+        const Route exact = shortest_path_td(graph_, profiles_, req.from, req.to,
+                                             req.arrival_s, {true, 1.0});
+        served.quality = exact.found() && primary.travel_time_s > 0.0
+                             ? exact.travel_time_s / primary.travel_time_s
+                             : 1.0;
+      } else {
+        served.quality = 1.0;
+      }
+    } else {
+      served.quality = 0.0;  // unreachable pair: worst quality
+    }
+
+    const double finish = start + served.service_s;
+    free_at.push(finish);
+    start_times.push_back(start);
+
+    if (observer) observer(served);
+    out.push_back(std::move(served));
+  }
+  return out;
+}
+
+}  // namespace antarex::nav

@@ -1,0 +1,60 @@
+// The navigation server simulation: requests queue at a server farm whose
+// per-request compute cost depends on the routing knobs — the plant the
+// ANTAREX autotuner manages to keep the latency SLA under diurnal load
+// ("balancing data collection, big data analysis and extreme computational
+// power", paper Sec. VII-b).
+#pragma once
+
+#include <functional>
+
+#include "nav/nav.hpp"
+
+namespace antarex::nav {
+
+/// The server-side software knobs (the DSL/application parameters the
+/// autotuner drives).
+struct ServerKnobs {
+  QueryOptions opts;       ///< astar + epsilon (quality/latency trade)
+  int k_routes = 1;        ///< alternatives computed per request
+};
+
+struct ServedRequest {
+  Request request;
+  double queue_wait_s = 0.0;
+  double service_s = 0.0;      ///< compute time (expansions x unit cost)
+  double latency_s = 0.0;      ///< wait + service
+  double quality = 1.0;        ///< optimal_time / returned_time, in (0, 1]
+  u64 expanded = 0;
+  ServerKnobs knobs_used;
+};
+
+class NavServer {
+ public:
+  /// cost_per_expansion_s: CPU seconds per settled node (calibrates the
+  /// simulated machine); workers: parallel request handlers.
+  NavServer(const RoadGraph& graph, const SpeedProfiles& profiles,
+            double cost_per_expansion_s = 2e-6, int workers = 2);
+
+  /// Knob policy consulted per request. Inputs: current queue length at the
+  /// request's arrival and the time of day — enough for both static policies
+  /// (ignore inputs) and adaptive ones.
+  using Policy = std::function<ServerKnobs(std::size_t queue_length,
+                                           double time_of_day_s)>;
+
+  /// Completion hook, invoked after each served request (used by the
+  /// autotuner integration to feed monitors).
+  using Observer = std::function<void(const ServedRequest&)>;
+
+  /// Serve all requests (must be sorted by arrival time). Deterministic.
+  std::vector<ServedRequest> serve(const std::vector<Request>& requests,
+                                   const Policy& policy,
+                                   const Observer& observer = nullptr);
+
+ private:
+  const RoadGraph& graph_;
+  const SpeedProfiles& profiles_;
+  double unit_cost_s_;
+  int workers_;
+};
+
+}  // namespace antarex::nav

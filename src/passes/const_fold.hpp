@@ -1,0 +1,21 @@
+// Constant folding + algebraic simplification + local constant propagation.
+#pragma once
+
+#include "passes/pass.hpp"
+
+namespace antarex::passes {
+
+/// Folds literal subexpressions (2*3 -> 6), applies safe algebraic identities
+/// (x*1 -> x, x+0 -> x, x*0 -> 0 when x is pure), and propagates constants
+/// from `int x = C;` declarations whose variable is never reassigned in the
+/// function.
+class ConstantFoldPass final : public Pass {
+ public:
+  std::string name() const override { return "fold"; }
+  PassResult run(cir::Function& f) override;
+};
+
+/// Fold a single expression tree in place; returns number of folds.
+std::size_t fold_expr(cir::ExprPtr& e);
+
+}  // namespace antarex::passes

@@ -1,0 +1,29 @@
+#include "passes/pass.hpp"
+
+#include <unordered_set>
+
+#include "cir/analysis.hpp"
+
+namespace antarex::passes {
+
+namespace {
+const std::unordered_set<std::string>& pure_builtins() {
+  static const std::unordered_set<std::string> pure = {
+      "sqrt", "fabs", "exp", "log", "sin", "cos", "pow", "floor", "min", "max",
+  };
+  return pure;
+}
+}  // namespace
+
+bool is_pure_expr(const cir::Expr& e) {
+  bool pure = true;
+  cir::walk_exprs(e, [&](const cir::Expr& x) {
+    if (x.kind == cir::ExprKind::Call) {
+      const auto& c = static_cast<const cir::CallExpr&>(x);
+      if (!pure_builtins().contains(c.callee)) pure = false;
+    }
+  });
+  return pure;
+}
+
+}  // namespace antarex::passes

@@ -1,0 +1,46 @@
+#include "passes/specialize.hpp"
+
+#include "cir/analysis.hpp"
+#include "support/strings.hpp"
+
+namespace antarex::passes {
+
+using namespace cir;
+
+std::string specialized_name(const std::string& func, const std::string& param,
+                             i64 value) {
+  return format("%s__%s_%lld", func.c_str(), param.c_str(),
+                static_cast<long long>(value));
+}
+
+Function* specialize_function(Module& m, const std::string& func,
+                              const std::string& param, i64 value) {
+  Function* original = m.find(func);
+  ANTAREX_REQUIRE(original != nullptr, "specialize: unknown function '" + func + "'");
+  const int idx = original->param_index(param);
+  ANTAREX_REQUIRE(idx >= 0,
+                  format("specialize: '%s' has no parameter '%s'", func.c_str(),
+                         param.c_str()));
+  ANTAREX_REQUIRE(original->params[static_cast<std::size_t>(idx)].type == Type::Int,
+                  "specialize: only integer parameters can be specialized");
+
+  const std::string name = specialized_name(func, param, value);
+  if (Function* existing = m.find(name)) return existing;
+
+  auto clone = original->clone();
+  clone->name = name;
+  // A parameter cannot be re-assigned safely if the body writes it; in that
+  // case keep it as a local initialized to the constant instead of
+  // substituting uses.
+  if (is_var_modified(*clone->body, param)) {
+    auto decl = std::make_unique<VarDeclStmt>(Type::Int, param, make_int(value));
+    clone->body->stmts.insert(clone->body->stmts.begin(), std::move(decl));
+  } else {
+    const IntLit lit(value);
+    substitute_var(*clone->body, param, lit);
+  }
+  clone->params.erase(clone->params.begin() + idx);
+  return m.add(std::move(clone));
+}
+
+}  // namespace antarex::passes

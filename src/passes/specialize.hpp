@@ -1,0 +1,28 @@
+// Function specialization (constant argument binding).
+//
+// This is the `Specialize` action of the paper's Figure 4: clone a function,
+// bind one integer parameter to a runtime-observed constant, and let the rest
+// of the pipeline (fold, unroll, dce) exploit the new constant. The resulting
+// variant is what `AddVersion` installs in the VM's dispatch table.
+#pragma once
+
+#include <string>
+
+#include "passes/pass.hpp"
+
+namespace antarex::passes {
+
+/// Derived variant name, e.g. "kernel__size_128".
+std::string specialized_name(const std::string& func, const std::string& param,
+                             i64 value);
+
+/// Clones `func` from the module, substitutes parameter `param` with the
+/// literal `value`, removes the parameter from the signature, renames the
+/// clone to specialized_name(...), adds it to the module and returns it.
+/// Throws if the function/parameter does not exist or the parameter is not
+/// integer-typed. If a same-named variant already exists it is returned as-is
+/// (specialization is idempotent per (func, param, value)).
+cir::Function* specialize_function(cir::Module& m, const std::string& func,
+                                   const std::string& param, i64 value);
+
+}  // namespace antarex::passes

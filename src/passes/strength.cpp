@@ -1,0 +1,106 @@
+#include "passes/strength.hpp"
+
+#include "cir/analysis.hpp"
+
+namespace antarex::passes {
+
+using namespace cir;
+
+namespace {
+
+bool is_int_lit(const Expr& e, i64 v) {
+  return e.kind == ExprKind::IntLit && static_cast<const IntLit&>(e).value == v;
+}
+
+bool is_float_lit(const Expr& e, double v) {
+  return e.kind == ExprKind::FloatLit && static_cast<const FloatLit&>(e).value == v;
+}
+
+std::size_t reduce_tree(ExprPtr& e) {
+  std::size_t n = 0;
+  // Bottom-up: children first.
+  switch (e->kind) {
+    case ExprKind::Unary:
+      n += reduce_tree(static_cast<UnaryExpr&>(*e).operand);
+      break;
+    case ExprKind::Binary: {
+      auto& b = static_cast<BinaryExpr&>(*e);
+      n += reduce_tree(b.lhs);
+      n += reduce_tree(b.rhs);
+      break;
+    }
+    case ExprKind::Call:
+      for (auto& a : static_cast<CallExpr&>(*e).args) n += reduce_tree(a);
+      break;
+    case ExprKind::Index:
+      n += reduce_tree(static_cast<IndexExpr&>(*e).index);
+      break;
+    default:
+      break;
+  }
+
+  if (e->kind == ExprKind::Call) {
+    auto& c = static_cast<CallExpr&>(*e);
+    if (c.callee == "pow" && c.args.size() == 2 && is_pure_expr(*c.args[0])) {
+      if (is_int_lit(*c.args[1], 1) || is_float_lit(*c.args[1], 1.0)) {
+        e = std::move(c.args[0]);
+        return n + 1;
+      }
+      if (is_int_lit(*c.args[1], 2) || is_float_lit(*c.args[1], 2.0)) {
+        ExprPtr x = std::move(c.args[0]);
+        ExprPtr x2 = x->clone();
+        e = make_binary(BinOp::Mul, std::move(x), std::move(x2));
+        return n + 1;
+      }
+      if (is_int_lit(*c.args[1], 3) || is_float_lit(*c.args[1], 3.0)) {
+        ExprPtr x = std::move(c.args[0]);
+        ExprPtr sq = make_binary(BinOp::Mul, x->clone(), x->clone());
+        e = make_binary(BinOp::Mul, std::move(sq), std::move(x));
+        return n + 1;
+      }
+      if (is_float_lit(*c.args[1], 0.5)) {
+        std::vector<ExprPtr> args;
+        args.push_back(std::move(c.args[0]));
+        e = make_call("sqrt", std::move(args));
+        return n + 1;
+      }
+    }
+  } else if (e->kind == ExprKind::Binary) {
+    auto& b = static_cast<BinaryExpr&>(*e);
+    if (b.op == BinOp::Mul) {
+      if (is_int_lit(*b.rhs, 2) && is_pure_expr(*b.lhs)) {
+        ExprPtr x = std::move(b.lhs);
+        ExprPtr x2 = x->clone();
+        e = make_binary(BinOp::Add, std::move(x), std::move(x2));
+        return n + 1;
+      }
+      if (is_int_lit(*b.lhs, 2) && is_pure_expr(*b.rhs)) {
+        ExprPtr x = std::move(b.rhs);
+        ExprPtr x2 = x->clone();
+        e = make_binary(BinOp::Add, std::move(x), std::move(x2));
+        return n + 1;
+      }
+    }
+  }
+  return n;
+}
+
+}  // namespace
+
+PassResult StrengthReductionPass::run(Function& f) {
+  PassResult result;
+  if (!f.body) return result;
+  for_each_expr_slot(*f.body, [&](ExprPtr& slot, bool is_store_target) {
+    if (!slot) return;
+    if (is_store_target) {
+      if (slot->kind == ExprKind::Index)
+        result.actions += reduce_tree(static_cast<IndexExpr&>(*slot).index);
+      return;
+    }
+    result.actions += reduce_tree(slot);
+  });
+  result.changed = result.actions > 0;
+  return result;
+}
+
+}  // namespace antarex::passes

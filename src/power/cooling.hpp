@@ -1,0 +1,42 @@
+// Datacenter cooling plant and PUE model.
+//
+// Reproduces the paper's Sec. V claim that "ambient temperature can
+// significantly change the overall cooling efficiency of a supercomputer,
+// causing more than 10% PUE loss when transitioning from winter to summer"
+// (citing the MS3 scheduler work [23]).
+//
+// The plant is a chiller whose coefficient of performance (COP) degrades as
+// outdoor ambient rises (smaller temperature lift available for free
+// cooling), plus a fixed facility overhead (lighting, UPS losses, pumps).
+#pragma once
+
+#include "support/common.hpp"
+
+namespace antarex::power {
+
+class CoolingModel {
+ public:
+  struct Params {
+    double cop_ref = 6.0;        ///< chiller COP at ambient_ref
+    double ambient_ref_c = 5.0;  ///< reference (winter) outdoor temperature
+    double cop_slope = 0.10;     ///< COP lost per degree C above reference
+    double cop_min = 1.5;        ///< floor (chiller never better than this)
+    double fixed_overhead = 0.06;///< facility overhead as fraction of IT power
+  };
+
+  CoolingModel() : CoolingModel(Params{}) {}
+  explicit CoolingModel(Params p);
+
+  double cop(double ambient_c) const;
+  double cooling_power_w(double it_power_w, double ambient_c) const;
+
+  /// Power Usage Effectiveness: (IT + cooling + overhead) / IT.
+  double pue(double it_power_w, double ambient_c) const;
+
+  const Params& params() const { return p_; }
+
+ private:
+  Params p_;
+};
+
+}  // namespace antarex::power

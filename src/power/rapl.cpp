@@ -1,0 +1,35 @@
+#include "power/rapl.hpp"
+
+#include <cmath>
+
+namespace antarex::power {
+
+RaplDomain::RaplDomain(std::string name) : name_(std::move(name)) {}
+
+void RaplDomain::accumulate(double power_w, double dt_s) {
+  ANTAREX_REQUIRE(power_w >= 0.0, "RaplDomain: negative power");
+  ANTAREX_REQUIRE(dt_s >= 0.0, "RaplDomain: negative interval");
+  total_j_ += power_w * dt_s;
+}
+
+u32 RaplDomain::counter_uj() const {
+  const double uj = total_j_ * 1e6;
+  // Wraps every 2^32 uJ (~4295 J), as the real 32-bit MSR does.
+  return static_cast<u32>(std::fmod(uj, 4294967296.0));
+}
+
+double RaplDomain::delta_j(u32 before, u32 after) {
+  const u32 delta = after - before;  // unsigned arithmetic handles the wrap
+  return static_cast<double>(delta) * 1e-6;
+}
+
+void RaplDomain::reset() { total_j_ = 0.0; }
+
+EnergySample::EnergySample(const RaplDomain& domain)
+    : domain_(domain), start_(domain.counter_uj()) {}
+
+double EnergySample::elapsed_j() const {
+  return RaplDomain::delta_j(start_, domain_.counter_uj());
+}
+
+}  // namespace antarex::power

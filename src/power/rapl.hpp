@@ -1,0 +1,54 @@
+// Simulated RAPL energy counters.
+//
+// Substitution note (DESIGN.md): the original ANTAREX stack reads Intel RAPL
+// MSRs; everything above the counter (monitors, autotuner, RTRM) only
+// consumes (energy, time) samples. This class reproduces the RAPL interface
+// quirks that client code must handle: a 32-bit counter in micro-joule-scale
+// units that wraps around, sampled by difference.
+#pragma once
+
+#include <string>
+
+#include "support/common.hpp"
+
+namespace antarex::power {
+
+class RaplDomain {
+ public:
+  explicit RaplDomain(std::string name = "package-0");
+
+  /// Integrate power over an interval (called by the node simulation).
+  void accumulate(double power_w, double dt_s);
+
+  /// Raw wrapping counter in micro-joules (32-bit, like MSR_PKG_ENERGY_STATUS
+  /// at the default 15.3 uJ unit scaled to 1 uJ for simplicity).
+  u32 counter_uj() const;
+
+  /// Wrap-aware difference between two counter reads, in joules.
+  static double delta_j(u32 before, u32 after);
+
+  /// Non-wrapping total (ground truth for tests/benches).
+  double total_j() const { return total_j_; }
+
+  const std::string& name() const { return name_; }
+  void reset();
+
+ private:
+  std::string name_;
+  double total_j_ = 0.0;
+};
+
+/// Convenience sampler: read-before / read-after energy measurement, the
+/// idiom every RAPL consumer uses.
+class EnergySample {
+ public:
+  explicit EnergySample(const RaplDomain& domain);
+  /// Joules accumulated since construction (wrap-aware).
+  double elapsed_j() const;
+
+ private:
+  const RaplDomain& domain_;
+  u32 start_;
+};
+
+}  // namespace antarex::power

@@ -1,0 +1,33 @@
+// First-order RC thermal model of a device + heatsink.
+//
+// The RTRM's "distributed optimal thermal management controller" (Sec. V)
+// needs a plant to control: temperature rises toward ambient + P*R_th with
+// time constant tau, and leakage feeds back through PowerModel.
+#pragma once
+
+#include "support/common.hpp"
+
+namespace antarex::power {
+
+class ThermalModel {
+ public:
+  /// r_th: steady-state C/W above ambient; tau: thermal time constant.
+  ThermalModel(double r_th_c_per_w = 0.25, double tau_s = 12.0,
+               double initial_c = 40.0);
+
+  /// Advance by dt with the given dissipated power and ambient temperature.
+  void step(double power_w, double ambient_c, double dt_s);
+
+  double temperature_c() const { return temp_c_; }
+  void reset(double temp_c) { temp_c_ = temp_c; }
+
+  /// Temperature the model converges to under constant conditions.
+  double steady_state_c(double power_w, double ambient_c) const;
+
+ private:
+  double r_th_;
+  double tau_s_;
+  double temp_c_;
+};
+
+}  // namespace antarex::power

@@ -1,0 +1,88 @@
+#include "rtrm/cluster.hpp"
+
+#include <algorithm>
+
+namespace antarex::rtrm {
+
+Cluster::Cluster(ClusterConfig config)
+    : config_(config),
+      dispatcher_(config.placement, config.backfill),
+      thermal_guard_(config.t_crit_c) {
+  ANTAREX_REQUIRE(config_.control_period_s > 0.0,
+                  "Cluster: non-positive control period");
+  if (config_.facility_cap_w)
+    power_manager_.emplace(*config_.facility_cap_w);
+}
+
+Node& Cluster::add_node(Node node) {
+  nodes_.push_back(std::move(node));
+  return nodes_.back();
+}
+
+void Cluster::control_step() {
+  for (auto& node : nodes_) {
+    const double base_share =
+        node.device_count() > 0
+            ? node.base_power_w() / static_cast<double>(node.device_count())
+            : 0.0;
+    for (auto& d : node.devices()) {
+      apply_governor(d, config_.governor, base_share);
+      if (config_.thermal_guard) thermal_guard_.step(d);
+    }
+  }
+  if (power_manager_) power_manager_->step(nodes_);
+}
+
+void Cluster::run_for(double duration_s, double dt_s) {
+  ANTAREX_REQUIRE(duration_s >= 0.0 && dt_s > 0.0, "Cluster: bad run parameters");
+  const double end = clock_.now() + duration_s;
+  while (clock_.now() < end - 1e-12) {
+    const double step = std::min(dt_s, end - clock_.now());
+
+    dispatcher_.place(nodes_, clock_.now());
+    if (clock_.now() + 1e-12 >= next_control_s_) {
+      control_step();
+      next_control_s_ = clock_.now() + config_.control_period_s;
+    }
+
+    double it_power = 0.0;
+    for (auto& node : nodes_) {
+      for (u64 id : node.step(step, config_.ambient_c))
+        dispatcher_.on_finished(id, clock_.now() + step);
+      it_power += node.power_w();
+    }
+
+    clock_.advance(step);
+
+    telemetry_.time_s = clock_.now();
+    telemetry_.it_energy_j += it_power * step;
+    telemetry_.facility_energy_j +=
+        it_power * step * cooling_.pue(it_power, config_.ambient_c);
+    telemetry_.peak_it_power_w = std::max(telemetry_.peak_it_power_w, it_power);
+    for (const auto& node : nodes_)
+      for (const auto& d : node.devices())
+        telemetry_.max_temperature_c =
+            std::max(telemetry_.max_temperature_c, d.temperature_c());
+    telemetry_.jobs_completed = dispatcher_.completed();
+  }
+}
+
+bool Cluster::run_until_idle(double max_s, double dt_s) {
+  const double deadline = clock_.now() + max_s;
+  while (clock_.now() < deadline) {
+    run_for(std::min(16.0 * dt_s, deadline - clock_.now()), dt_s);
+    bool any_busy = dispatcher_.queued() > 0 || dispatcher_.running() > 0;
+    if (!any_busy) return true;
+  }
+  return dispatcher_.queued() == 0 && dispatcher_.running() == 0;
+}
+
+double Cluster::it_power_w() const {
+  double p = 0.0;
+  for (const auto& node : nodes_) p += node.power_w();
+  return p;
+}
+
+double Cluster::pue() const { return cooling_.pue(it_power_w(), config_.ambient_c); }
+
+}  // namespace antarex::rtrm

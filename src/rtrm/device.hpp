@@ -1,0 +1,70 @@
+// One device instance (CPU socket / MIC / GPU) under runtime management.
+//
+// A Device couples the analytic models from src/power (power, thermal, RAPL
+// counter) with an execution state: the operating point chosen by a governor
+// or controller, and the work currently assigned to it.
+#pragma once
+
+#include <optional>
+#include <string>
+
+#include "power/dvfs.hpp"
+#include "power/model.hpp"
+#include "power/rapl.hpp"
+#include "power/thermal.hpp"
+#include "support/common.hpp"
+
+namespace antarex::rtrm {
+
+class Device {
+ public:
+  Device(std::string instance_name, power::DeviceSpec spec,
+         power::Variability var = {});
+
+  const std::string& name() const { return name_; }
+  const power::DeviceSpec& spec() const { return model_.spec(); }
+  const power::PowerModel& power_model() const { return model_; }
+
+  // --- operating point ------------------------------------------------------
+  std::size_t op_index() const { return op_index_; }
+  const power::OperatingPoint& op() const { return spec().dvfs.at(op_index_); }
+  void set_op_index(std::size_t i);
+  std::size_t num_ops() const { return spec().dvfs.size(); }
+
+  // --- work assignment ------------------------------------------------------
+  /// Assign `units` of work characterized by `w`. Fails if busy.
+  void assign(power::WorkloadModel w, double units, u64 job_id);
+  bool busy() const { return units_remaining_ > 0.0; }
+  std::optional<u64> running_job() const;
+  double units_remaining() const { return units_remaining_; }
+  const power::WorkloadModel& workload() const { return workload_; }
+
+  // --- simulation -----------------------------------------------------------
+  /// Advance dt seconds: progress assigned work at the current operating
+  /// point, update temperature, accumulate energy. Returns the job id if the
+  /// assigned work completed within this step.
+  std::optional<u64> step(double dt_s, double ambient_c);
+
+  /// Instantaneous electrical power right now.
+  double power_w(double ambient_c_unused = 0.0) const;
+
+  double temperature_c() const { return thermal_.temperature_c(); }
+  const power::RaplDomain& rapl() const { return rapl_; }
+  double busy_seconds() const { return busy_seconds_; }
+  u64 completed_jobs() const { return completed_; }
+
+ private:
+  std::string name_;
+  power::PowerModel model_;
+  power::ThermalModel thermal_;
+  power::RaplDomain rapl_;
+  std::size_t op_index_;
+
+  power::WorkloadModel workload_;
+  double units_remaining_ = 0.0;
+  u64 job_id_ = 0;
+  double busy_seconds_ = 0.0;
+  u64 completed_ = 0;
+};
+
+}  // namespace antarex::rtrm

@@ -1,0 +1,120 @@
+#include "rtrm/dispatcher.hpp"
+
+#include <algorithm>
+
+#include "power/model.hpp"
+
+namespace antarex::rtrm {
+
+const char* placement_name(PlacementPolicy p) {
+  switch (p) {
+    case PlacementPolicy::FirstFit: return "first-fit";
+    case PlacementPolicy::FastestFirst: return "fastest-first";
+    case PlacementPolicy::EnergyAware: return "energy-aware";
+  }
+  return "?";
+}
+
+Dispatcher::Dispatcher(PlacementPolicy policy, bool backfill)
+    : policy_(policy), backfill_(backfill) {}
+
+void Dispatcher::submit(Job job) {
+  ANTAREX_REQUIRE(!job.profiles.empty(), "Dispatcher: job with no device profiles");
+  job.state = JobState::Queued;
+  queue_.push_back(std::move(job));
+}
+
+Device* Dispatcher::choose_device(std::vector<Node>& nodes, const Job& job) const {
+  Device* best = nullptr;
+  double best_score = 0.0;
+  for (auto& node : nodes) {
+    for (auto& d : node.devices()) {
+      if (d.busy() || !job.can_run_on(d.spec().type)) continue;
+      if (policy_ == PlacementPolicy::FirstFit) return &d;
+      const power::WorkloadModel& w = job.profile(d.spec().type);
+      double score = 0.0;
+      if (policy_ == PlacementPolicy::FastestFirst) {
+        score = w.execution_time_s(d.op()) * job.units;
+      } else {  // EnergyAware
+        score = power::energy_j(d.power_model(), w, d.op(), job.units,
+                                d.temperature_c());
+      }
+      if (!best || score < best_score) {
+        best = &d;
+        best_score = score;
+      }
+    }
+  }
+  return best;
+}
+
+void Dispatcher::start(Job job, Device& device, double now_s) {
+  job.state = JobState::Running;
+  job.start_time_s = now_s;
+  job.device_name = device.name();
+  device.assign(job.profile(device.spec().type), job.units, job.id);
+  running_.push_back(std::move(job));
+}
+
+double Dispatcher::predicted_remaining_s(const Device& d) {
+  if (!d.busy()) return 0.0;
+  return d.units_remaining() * d.workload().execution_time_s(d.op());
+}
+
+void Dispatcher::place(std::vector<Node>& nodes, double now_s) {
+  while (!queue_.empty()) {
+    Job& head = queue_.front();
+    Device* d = choose_device(nodes, head);
+    if (d) {
+      start(std::move(head), *d, now_s);
+      queue_.pop_front();
+      continue;
+    }
+    if (!backfill_) break;  // plain FCFS: head blocks
+
+    // EASY backfill. Reserve for the head the busy compatible device with
+    // the shortest predicted remaining time.
+    const Device* reserved = nullptr;
+    double reservation_s = 0.0;
+    for (auto& node : nodes) {
+      for (auto& dev : node.devices()) {
+        if (!head.can_run_on(dev.spec().type)) continue;
+        const double rem = predicted_remaining_s(dev);
+        if (!reserved || rem < reservation_s) {
+          reserved = &dev;
+          reservation_s = rem;
+        }
+      }
+    }
+    if (!reserved) break;  // no compatible device exists at all
+
+    // Try to start one later job without endangering the reservation: it may
+    // use any free device other than the reserved one freely; the reserved
+    // device itself is busy (that is why the head waits), so "other free
+    // devices" is the whole opportunity set.
+    bool placed_any = false;
+    for (auto it = std::next(queue_.begin()); it != queue_.end(); ++it) {
+      Device* fit = choose_device(nodes, *it);
+      if (!fit || fit == reserved) continue;
+      start(std::move(*it), *fit, now_s);
+      queue_.erase(it);
+      ++backfilled_;
+      placed_any = true;
+      break;  // re-evaluate from the head after each placement
+    }
+    if (!placed_any) break;
+  }
+}
+
+void Dispatcher::on_finished(u64 job_id, double now_s) {
+  const auto it = std::find_if(running_.begin(), running_.end(),
+                               [&](const Job& j) { return j.id == job_id; });
+  ANTAREX_REQUIRE(it != running_.end(),
+                  "Dispatcher: completion for a job that is not running");
+  it->state = JobState::Done;
+  it->finish_time_s = now_s;
+  done_.push_back(std::move(*it));
+  running_.erase(it);
+}
+
+}  // namespace antarex::rtrm

@@ -1,0 +1,66 @@
+// Job dispatcher: maps queued jobs to free devices.
+//
+// Placement policies model the paper's Sec. VII-a observation that "dynamic
+// load balancing and task placement are critical" on heterogeneous systems.
+#pragma once
+
+#include <deque>
+#include <vector>
+
+#include "rtrm/job.hpp"
+#include "rtrm/node.hpp"
+
+namespace antarex::rtrm {
+
+enum class PlacementPolicy {
+  FirstFit,      ///< first free compatible device
+  FastestFirst,  ///< free compatible device with the shortest predicted time
+  EnergyAware,   ///< free compatible device with the lowest predicted energy
+};
+
+const char* placement_name(PlacementPolicy p);
+
+class Dispatcher {
+ public:
+  explicit Dispatcher(PlacementPolicy policy = PlacementPolicy::FirstFit,
+                      bool backfill = false);
+
+  /// EASY backfilling: when the queue head cannot start (no free compatible
+  /// device), later jobs may jump ahead as long as they cannot delay the
+  /// head's reservation — they either run on a device the head cannot use,
+  /// or finish (by prediction) before the reserved device frees.
+  void set_backfill(bool enabled) { backfill_ = enabled; }
+  bool backfill() const { return backfill_; }
+  u64 backfilled_jobs() const { return backfilled_; }
+
+  void submit(Job job);
+  std::size_t queued() const { return queue_.size(); }
+  std::size_t running() const { return running_.size(); }
+  std::size_t completed() const { return done_.size(); }
+  const std::vector<Job>& completed_jobs() const { return done_; }
+
+  /// Try to place queued jobs on free devices (in queue order; a job that
+  /// cannot be placed blocks later ones — FCFS).
+  void place(std::vector<Node>& nodes, double now_s);
+
+  /// Notify that a job finished on some device (called by the cluster when a
+  /// Device::step reports completion).
+  void on_finished(u64 job_id, double now_s);
+
+  PlacementPolicy policy() const { return policy_; }
+
+ private:
+  Device* choose_device(std::vector<Node>& nodes, const Job& job) const;
+  void start(Job job, Device& device, double now_s);
+  /// Predicted seconds until a busy device frees (at its current P-state).
+  static double predicted_remaining_s(const Device& d);
+
+  PlacementPolicy policy_;
+  bool backfill_;
+  u64 backfilled_ = 0;
+  std::deque<Job> queue_;
+  std::vector<Job> running_;
+  std::vector<Job> done_;
+};
+
+}  // namespace antarex::rtrm

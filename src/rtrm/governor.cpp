@@ -1,0 +1,57 @@
+#include "rtrm/governor.hpp"
+
+namespace antarex::rtrm {
+
+const char* governor_name(GovernorPolicy p) {
+  switch (p) {
+    case GovernorPolicy::Performance: return "performance";
+    case GovernorPolicy::Powersave: return "powersave";
+    case GovernorPolicy::Ondemand: return "ondemand";
+    case GovernorPolicy::EnergyAware: return "energy-aware";
+  }
+  return "?";
+}
+
+void apply_governor(Device& device, GovernorPolicy policy,
+                    double base_power_share_w) {
+  ANTAREX_REQUIRE(base_power_share_w >= 0.0,
+                  "apply_governor: negative base power share");
+  const std::size_t top = device.num_ops() - 1;
+  switch (policy) {
+    case GovernorPolicy::Performance:
+      device.set_op_index(top);
+      break;
+    case GovernorPolicy::Powersave:
+      device.set_op_index(0);
+      break;
+    case GovernorPolicy::Ondemand:
+      device.set_op_index(device.busy() ? top : 0);
+      break;
+    case GovernorPolicy::EnergyAware: {
+      if (!device.busy()) {
+        device.set_op_index(0);
+        return;
+      }
+      // Attributable node energy per work unit at each P-state, at the
+      // device's current temperature (the monitors' live reading).
+      const power::WorkloadModel& w = device.workload();
+      std::size_t best = top;
+      double best_e = 0.0;
+      for (std::size_t i = 0; i < device.num_ops(); ++i) {
+        const auto& op = device.spec().dvfs.at(i);
+        const double e =
+            power::energy_j(device.power_model(), w, op, 1.0,
+                            device.temperature_c()) +
+            base_power_share_w * w.execution_time_s(op);
+        if (i == 0 || e <= best_e) {
+          best_e = e;
+          best = i;
+        }
+      }
+      device.set_op_index(best);
+      break;
+    }
+  }
+}
+
+}  // namespace antarex::rtrm

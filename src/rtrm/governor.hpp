@@ -1,0 +1,32 @@
+// Frequency governors: the per-device policy layer the paper's Sec. V claim
+// compares against ("the default frequency selection of the Linux OS power
+// governor").
+#pragma once
+
+#include <string>
+
+#include "rtrm/device.hpp"
+
+namespace antarex::rtrm {
+
+enum class GovernorPolicy {
+  Performance,  ///< always the highest P-state
+  Powersave,    ///< always the lowest P-state
+  Ondemand,     ///< Linux-default-like: max when busy, min when idle
+  EnergyAware,  ///< ANTAREX: energy-optimal P-state for the running workload
+};
+
+const char* governor_name(GovernorPolicy p);
+
+/// Apply one governor decision to a device (called every control period).
+/// EnergyAware uses the device's currently-assigned workload model — the
+/// knowledge the ANTAREX monitoring loop provides — and minimizes
+/// *attributable node energy*: (device power + base_power_share) * time.
+/// Without the base-power share the policy degenerates to powersave, because
+/// device-only energy is minimized by the lowest P-state for most workloads;
+/// the share is what makes race-to-idle worthwhile for compute-bound codes
+/// (the cluster passes node base power / device count).
+void apply_governor(Device& device, GovernorPolicy policy,
+                    double base_power_share_w = 0.0);
+
+}  // namespace antarex::rtrm

@@ -1,0 +1,12 @@
+#include "rtrm/job.hpp"
+
+namespace antarex::rtrm {
+
+const power::WorkloadModel& Job::profile(power::DeviceType t) const {
+  auto it = profiles.find(t);
+  ANTAREX_REQUIRE(it != profiles.end(),
+                  "Job '" + name + "' has no profile for this device type");
+  return it->second;
+}
+
+}  // namespace antarex::rtrm

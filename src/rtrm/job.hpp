@@ -1,0 +1,36 @@
+// Jobs submitted to the runtime resource manager.
+#pragma once
+
+#include <map>
+#include <optional>
+#include <string>
+
+#include "power/dvfs.hpp"
+#include "power/model.hpp"
+#include "support/common.hpp"
+
+namespace antarex::rtrm {
+
+enum class JobState { Queued, Running, Done };
+
+/// A unit of schedulable work. The same job costs differently on different
+/// device types ("different tasks might be more efficient on different types
+/// of processors", paper Sec. VII-a): `profiles` holds one workload model per
+/// device type the job can execute on.
+struct Job {
+  u64 id = 0;
+  std::string name;
+  double units = 1.0;
+  std::map<power::DeviceType, power::WorkloadModel> profiles;
+
+  double submit_time_s = 0.0;
+  JobState state = JobState::Queued;
+  double start_time_s = 0.0;
+  double finish_time_s = 0.0;
+  std::string device_name;  ///< where it ran (once running/done)
+
+  bool can_run_on(power::DeviceType t) const { return profiles.contains(t); }
+  const power::WorkloadModel& profile(power::DeviceType t) const;
+};
+
+}  // namespace antarex::rtrm

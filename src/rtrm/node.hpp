@@ -1,0 +1,45 @@
+// A compute node: a set of heterogeneous devices plus node-level overhead
+// power (memory, NIC, fans, VRs).
+#pragma once
+
+#include <vector>
+
+#include "power/rapl.hpp"
+#include "rtrm/device.hpp"
+
+namespace antarex::rtrm {
+
+class Node {
+ public:
+  Node(std::string name, double base_power_w = 60.0);
+
+  const std::string& name() const { return name_; }
+
+  Device& add_device(Device d);
+  std::size_t device_count() const { return devices_.size(); }
+  Device& device(std::size_t i);
+  const Device& device(std::size_t i) const;
+  std::vector<Device>& devices() { return devices_; }
+  const std::vector<Device>& devices() const { return devices_; }
+
+  /// Advance all devices; returns ids of jobs that completed in this step.
+  std::vector<u64> step(double dt_s, double ambient_c);
+
+  /// Instantaneous node power (devices + base).
+  double power_w() const;
+  double base_power_w() const { return base_power_w_; }
+
+  /// Node-level energy counter (sum of device RAPL + base overhead).
+  const power::RaplDomain& rapl() const { return rapl_; }
+
+  /// Aggregate peak compute at the devices' current operating points.
+  double peak_gflops() const;
+
+ private:
+  std::string name_;
+  double base_power_w_;
+  std::vector<Device> devices_;
+  power::RaplDomain rapl_;
+};
+
+}  // namespace antarex::rtrm

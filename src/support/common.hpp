@@ -1,0 +1,44 @@
+// Common small utilities shared by every ANTAREX module.
+#pragma once
+
+#include <cstdint>
+#include <cstdio>
+#include <cstdlib>
+#include <stdexcept>
+#include <string>
+
+namespace antarex {
+
+/// Error raised by ANTAREX components on contract violations that are
+/// recoverable by the caller (bad input, unknown names, malformed sources).
+class Error : public std::runtime_error {
+ public:
+  explicit Error(const std::string& what) : std::runtime_error(what) {}
+};
+
+/// Internal invariant check. Unlike assert(), stays active in release builds:
+/// the simulators are deterministic, so a broken invariant is always a bug
+/// worth a loud stop rather than silent corruption of results.
+#define ANTAREX_CHECK(cond, msg)                                          \
+  do {                                                                    \
+    if (!(cond)) {                                                        \
+      ::std::fprintf(stderr, "ANTAREX_CHECK failed at %s:%d: %s\n",       \
+                     __FILE__, __LINE__, (msg));                          \
+      ::std::abort();                                                     \
+    }                                                                     \
+  } while (false)
+
+/// Throwing contract check for user-facing API boundaries.
+#define ANTAREX_REQUIRE(cond, msg)                \
+  do {                                            \
+    if (!(cond)) throw ::antarex::Error((msg));   \
+  } while (false)
+
+using u8 = std::uint8_t;
+using u16 = std::uint16_t;
+using i32 = std::int32_t;
+using i64 = std::int64_t;
+using u32 = std::uint32_t;
+using u64 = std::uint64_t;
+
+}  // namespace antarex

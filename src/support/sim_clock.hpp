@@ -1,0 +1,29 @@
+// Logical simulation clock.
+//
+// Every runtime component (monitors, RTRM control loops, job dispatcher)
+// advances on this clock rather than wall time, keeping the full stack
+// deterministic and fast to simulate.
+#pragma once
+
+#include "support/common.hpp"
+
+namespace antarex {
+
+class SimClock {
+ public:
+  /// Current simulated time in seconds.
+  double now() const { return now_s_; }
+
+  /// Advance by dt seconds (dt >= 0).
+  void advance(double dt_s) {
+    ANTAREX_REQUIRE(dt_s >= 0.0, "SimClock: cannot advance backwards");
+    now_s_ += dt_s;
+  }
+
+  void reset() { now_s_ = 0.0; }
+
+ private:
+  double now_s_ = 0.0;
+};
+
+}  // namespace antarex

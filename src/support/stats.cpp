@@ -1,0 +1,148 @@
+#include "support/stats.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+namespace antarex {
+
+void RunningStats::add(double x) {
+  if (n_ == 0) {
+    min_ = max_ = x;
+  } else {
+    min_ = std::min(min_, x);
+    max_ = std::max(max_, x);
+  }
+  ++n_;
+  const double delta = x - mean_;
+  mean_ += delta / static_cast<double>(n_);
+  m2_ += delta * (x - mean_);
+}
+
+void RunningStats::clear() { *this = RunningStats{}; }
+
+double RunningStats::variance() const {
+  if (n_ < 2) return 0.0;
+  return m2_ / static_cast<double>(n_ - 1);
+}
+
+double RunningStats::stddev() const { return std::sqrt(variance()); }
+
+void RunningStats::merge(const RunningStats& other) {
+  if (other.n_ == 0) return;
+  if (n_ == 0) {
+    *this = other;
+    return;
+  }
+  const double na = static_cast<double>(n_);
+  const double nb = static_cast<double>(other.n_);
+  const double delta = other.mean_ - mean_;
+  const double total = na + nb;
+  m2_ += other.m2_ + delta * delta * na * nb / total;
+  mean_ = (na * mean_ + nb * other.mean_) / total;
+  n_ += other.n_;
+  min_ = std::min(min_, other.min_);
+  max_ = std::max(max_, other.max_);
+}
+
+Ewma::Ewma(double alpha) : alpha_(alpha) {
+  ANTAREX_REQUIRE(alpha > 0.0 && alpha <= 1.0, "Ewma: alpha must be in (0, 1]");
+}
+
+void Ewma::add(double x) {
+  if (!seeded_) {
+    value_ = x;
+    seeded_ = true;
+  } else {
+    value_ = alpha_ * x + (1.0 - alpha_) * value_;
+  }
+}
+
+void Ewma::clear() {
+  value_ = 0.0;
+  seeded_ = false;
+}
+
+SlidingWindow::SlidingWindow(std::size_t capacity) : capacity_(capacity) {
+  ANTAREX_REQUIRE(capacity > 0, "SlidingWindow: capacity must be > 0");
+  buf_.reserve(capacity);
+}
+
+void SlidingWindow::add(double x) {
+  if (buf_.size() < capacity_) {
+    buf_.push_back(x);
+  } else {
+    buf_[head_] = x;
+    head_ = (head_ + 1) % capacity_;
+  }
+}
+
+double SlidingWindow::mean() const {
+  if (buf_.empty()) return 0.0;
+  double s = 0.0;
+  for (double x : buf_) s += x;
+  return s / static_cast<double>(buf_.size());
+}
+
+double SlidingWindow::percentile(double p) const {
+  ANTAREX_REQUIRE(!buf_.empty(), "SlidingWindow::percentile: empty window");
+  return ::antarex::percentile(buf_, p);
+}
+
+void SlidingWindow::clear() {
+  buf_.clear();
+  head_ = 0;
+}
+
+double percentile(std::vector<double> xs, double p) {
+  ANTAREX_REQUIRE(!xs.empty(), "percentile: empty sample");
+  ANTAREX_REQUIRE(p >= 0.0 && p <= 100.0, "percentile: p outside [0, 100]");
+  std::sort(xs.begin(), xs.end());
+  if (p <= 0.0) return xs.front();
+  const std::size_t rank =
+      static_cast<std::size_t>(std::ceil(p / 100.0 * static_cast<double>(xs.size())));
+  return xs[std::min(xs.size() - 1, rank == 0 ? 0 : rank - 1)];
+}
+
+double mean(const std::vector<double>& xs) {
+  if (xs.empty()) return 0.0;
+  double s = 0.0;
+  for (double x : xs) s += x;
+  return s / static_cast<double>(xs.size());
+}
+
+double geometric_mean(const std::vector<double>& xs) {
+  ANTAREX_REQUIRE(!xs.empty(), "geometric_mean: empty sample");
+  double log_sum = 0.0;
+  for (double x : xs) {
+    ANTAREX_REQUIRE(x > 0.0, "geometric_mean: values must be positive");
+    log_sum += std::log(x);
+  }
+  return std::exp(log_sum / static_cast<double>(xs.size()));
+}
+
+Histogram::Histogram(double lo, double hi, std::size_t bins)
+    : lo_(lo), hi_(hi), counts_(bins, 0) {
+  ANTAREX_REQUIRE(hi > lo, "Histogram: hi must be > lo");
+  ANTAREX_REQUIRE(bins > 0, "Histogram: need at least one bin");
+}
+
+void Histogram::add(double x) {
+  const double t = (x - lo_) / (hi_ - lo_);
+  auto i = static_cast<std::ptrdiff_t>(t * static_cast<double>(counts_.size()));
+  i = std::clamp<std::ptrdiff_t>(i, 0, static_cast<std::ptrdiff_t>(counts_.size()) - 1);
+  ++counts_[static_cast<std::size_t>(i)];
+  ++total_;
+}
+
+std::size_t Histogram::bin_count(std::size_t i) const {
+  ANTAREX_REQUIRE(i < counts_.size(), "Histogram: bin index out of range");
+  return counts_[i];
+}
+
+double Histogram::bin_low(std::size_t i) const {
+  return lo_ + (hi_ - lo_) * static_cast<double>(i) / static_cast<double>(counts_.size());
+}
+
+double Histogram::bin_high(std::size_t i) const { return bin_low(i + 1); }
+
+}  // namespace antarex

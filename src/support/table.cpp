@@ -1,0 +1,71 @@
+#include "support/table.hpp"
+
+#include <cctype>
+#include <cstdio>
+
+#include "support/common.hpp"
+
+namespace antarex {
+
+namespace {
+bool looks_numeric(const std::string& s) {
+  if (s.empty()) return false;
+  bool digit_seen = false;
+  for (char c : s) {
+    if (std::isdigit(static_cast<unsigned char>(c))) {
+      digit_seen = true;
+    } else if (c != '.' && c != '-' && c != '+' && c != '%' && c != 'e' &&
+               c != 'E' && c != 'x' && c != ',') {
+      return false;
+    }
+  }
+  return digit_seen;
+}
+}  // namespace
+
+Table::Table(std::vector<std::string> header) : header_(std::move(header)) {
+  ANTAREX_REQUIRE(!header_.empty(), "Table: header must have at least one column");
+}
+
+void Table::add_row(std::vector<std::string> cells) {
+  ANTAREX_REQUIRE(cells.size() == header_.size(), "Table: row width mismatch");
+  rows_.push_back(std::move(cells));
+}
+
+std::string Table::render() const {
+  std::vector<std::size_t> width(header_.size());
+  for (std::size_t c = 0; c < header_.size(); ++c) width[c] = header_[c].size();
+  for (const auto& row : rows_)
+    for (std::size_t c = 0; c < row.size(); ++c)
+      if (row[c].size() > width[c]) width[c] = row[c].size();
+
+  auto pad = [&](const std::string& s, std::size_t w, bool right) {
+    std::string out;
+    if (right) out.append(w - s.size(), ' ');
+    out += s;
+    if (!right) out.append(w - s.size(), ' ');
+    return out;
+  };
+
+  std::string sep = "+";
+  for (std::size_t w : width) sep += std::string(w + 2, '-') + "+";
+  sep += "\n";
+
+  std::string out = sep;
+  out += "|";
+  for (std::size_t c = 0; c < header_.size(); ++c)
+    out += " " + pad(header_[c], width[c], false) + " |";
+  out += "\n" + sep;
+  for (const auto& row : rows_) {
+    out += "|";
+    for (std::size_t c = 0; c < row.size(); ++c)
+      out += " " + pad(row[c], width[c], looks_numeric(row[c])) + " |";
+    out += "\n";
+  }
+  out += sep;
+  return out;
+}
+
+void Table::print() const { std::fputs(render().c_str(), stdout); }
+
+}  // namespace antarex

@@ -1,0 +1,27 @@
+// ASCII table rendering used by the benchmark harnesses to print
+// paper-vs-measured rows in a uniform format.
+#pragma once
+
+#include <string>
+#include <vector>
+
+namespace antarex {
+
+class Table {
+ public:
+  explicit Table(std::vector<std::string> header);
+
+  void add_row(std::vector<std::string> cells);
+  /// Render with column alignment; numeric-looking cells are right-aligned.
+  std::string render() const;
+  /// Render and write to stdout.
+  void print() const;
+
+  std::size_t rows() const { return rows_.size(); }
+
+ private:
+  std::vector<std::string> header_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+}  // namespace antarex

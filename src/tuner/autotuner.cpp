@@ -1,0 +1,79 @@
+#include "tuner/autotuner.hpp"
+
+#include <cmath>
+
+namespace antarex::tuner {
+
+Autotuner::Autotuner(DesignSpace space, std::unique_ptr<Strategy> strategy,
+                     AutotunerConfig config, u64 seed)
+    : space_(std::move(space)),
+      strategy_(std::move(strategy)),
+      config_(std::move(config)),
+      rng_(seed) {
+  ANTAREX_REQUIRE(space_.knob_count() > 0, "Autotuner: empty design space");
+  ANTAREX_REQUIRE(strategy_ != nullptr, "Autotuner: null strategy");
+  ANTAREX_REQUIRE(!config_.objective.empty(), "Autotuner: objective unnamed");
+}
+
+const Configuration& Autotuner::next_configuration() {
+  // Calling next twice without a report keeps the same decision: the decide
+  // step is driven by new knowledge, and there is none yet.
+  if (!awaiting_report_) {
+    current_ = strategy_->next(space_, knowledge_, config_.objective,
+                               config_.minimize, rng_);
+    ANTAREX_CHECK(space_.valid(current_), "Autotuner: strategy produced an "
+                                          "invalid configuration");
+    awaiting_report_ = true;
+  }
+  return current_;
+}
+
+void Autotuner::report(const std::map<std::string, double>& metrics) {
+  ANTAREX_REQUIRE(awaiting_report_,
+                  "Autotuner: report() without a preceding next_configuration()");
+  auto it = metrics.find(config_.objective);
+  ANTAREX_REQUIRE(it != metrics.end(),
+                  "Autotuner: metrics missing objective '" + config_.objective + "'");
+  const double y = it->second;
+
+  // Phase-change detection against learned knowledge.
+  const auto learned = knowledge_.mean(current_, config_.objective);
+  if (learned && knowledge_.samples(current_) >= config_.min_samples_for_phase) {
+    const double denom = std::max(1e-12, std::fabs(*learned));
+    if (std::fabs(y - *learned) / denom > config_.phase_threshold) {
+      if (++phase_suspicion_ >= config_.phase_confirm) {
+        knowledge_.clear();
+        strategy_->reset();
+        ++phase_changes_;
+        phase_suspicion_ = 0;
+      }
+    } else {
+      phase_suspicion_ = 0;
+    }
+  }
+
+  Measurement m;
+  m.config = current_;
+  m.metrics = metrics;
+  knowledge_.observe(m);
+  strategy_->observe(space_, current_, y);
+
+  awaiting_report_ = false;
+  ++iterations_;
+}
+
+std::optional<Configuration> Autotuner::best() const {
+  return knowledge_.best(config_.objective, config_.minimize, config_.goals);
+}
+
+void Autotuner::seed_knowledge(const std::string& exported_text) {
+  Knowledge incoming;
+  incoming.import_text(exported_text);
+  for (const Configuration& c : incoming.configs())
+    ANTAREX_REQUIRE(space_.valid(c),
+                    "Autotuner::seed_knowledge: imported configuration does "
+                    "not fit this design space");
+  knowledge_.import_text(exported_text);
+}
+
+}  // namespace antarex::tuner

@@ -1,0 +1,39 @@
+#include "tuner/monitor.hpp"
+
+#include "support/common.hpp"
+
+namespace antarex::tuner {
+
+Monitor::Monitor(std::string metric, std::size_t window)
+    : metric_(std::move(metric)), window_(window), ewma_(0.25) {}
+
+void Monitor::push(double sample) {
+  window_.add(sample);
+  ewma_.add(sample);
+  last_ = sample;
+  ++total_;
+}
+
+double Monitor::last() const {
+  ANTAREX_REQUIRE(total_ > 0, "Monitor '" + metric_ + "': no samples");
+  return last_;
+}
+
+double Monitor::window_mean() const {
+  ANTAREX_REQUIRE(total_ > 0, "Monitor '" + metric_ + "': no samples");
+  return window_.mean();
+}
+
+double Monitor::window_percentile(double p) const {
+  ANTAREX_REQUIRE(total_ > 0, "Monitor '" + metric_ + "': no samples");
+  return window_.percentile(p);
+}
+
+void Monitor::clear() {
+  window_.clear();
+  ewma_.clear();
+  last_ = 0.0;
+  total_ = 0;
+}
+
+}  // namespace antarex::tuner

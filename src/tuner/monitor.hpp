@@ -1,0 +1,50 @@
+// Monitors and goals — the "collect" and SLA sides of the autotuner's
+// collect-analyse-decide-act loop (paper Sec. II & IV).
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "support/stats.hpp"
+
+namespace antarex::tuner {
+
+/// A named runtime metric stream with windowed statistics. The application
+/// (or the instrumentation woven by the DSL) pushes samples; the autotuner
+/// and the SLA checker read aggregates.
+class Monitor {
+ public:
+  explicit Monitor(std::string metric, std::size_t window = 64);
+
+  const std::string& metric() const { return metric_; }
+  void push(double sample);
+
+  std::size_t samples() const { return total_; }
+  bool empty() const { return total_ == 0; }
+  double last() const;
+  double window_mean() const;
+  double window_percentile(double p) const;
+  double ewma() const { return ewma_.value(); }
+  void clear();
+
+ private:
+  std::string metric_;
+  SlidingWindow window_;
+  Ewma ewma_;
+  double last_ = 0.0;
+  std::size_t total_ = 0;
+};
+
+/// Service Level Agreement goal over one metric.
+struct Goal {
+  enum class Op { LessThan, GreaterThan };
+  std::string metric;
+  Op op = Op::LessThan;
+  double bound = 0.0;
+
+  bool satisfied_by(double value) const {
+    return op == Op::LessThan ? value < bound : value > bound;
+  }
+};
+
+}  // namespace antarex::tuner

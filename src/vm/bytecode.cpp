@@ -1,0 +1,76 @@
+#include "vm/bytecode.hpp"
+
+#include "support/strings.hpp"
+
+namespace antarex::vm {
+
+const char* op_name(Op op) {
+  switch (op) {
+    case Op::PushInt: return "push.i";
+    case Op::PushFloat: return "push.f";
+    case Op::PushStr: return "push.s";
+    case Op::Load: return "load";
+    case Op::Store: return "store";
+    case Op::LoadIndex: return "load.idx";
+    case Op::StoreIndex: return "store.idx";
+    case Op::Add: return "add";
+    case Op::Sub: return "sub";
+    case Op::Mul: return "mul";
+    case Op::Div: return "div";
+    case Op::Mod: return "mod";
+    case Op::Neg: return "neg";
+    case Op::Not: return "not";
+    case Op::Lt: return "lt";
+    case Op::Le: return "le";
+    case Op::Gt: return "gt";
+    case Op::Ge: return "ge";
+    case Op::Eq: return "eq";
+    case Op::Ne: return "ne";
+    case Op::Jump: return "jmp";
+    case Op::JumpIfFalse: return "jz";
+    case Op::JumpIfTrue: return "jnz";
+    case Op::Dup: return "dup";
+    case Op::Pop: return "pop";
+    case Op::Call: return "call";
+    case Op::Ret: return "ret";
+    case Op::RetVoid: return "ret.void";
+  }
+  return "?";
+}
+
+std::string CompiledFunction::disassemble() const {
+  std::string out = format("%s: params=%u slots=%u\n", name.c_str(), num_params, num_slots);
+  for (std::size_t pc = 0; pc < code.size(); ++pc) {
+    const Instr& in = code[pc];
+    out += format("  %4zu  %-10s", pc, op_name(in.op));
+    switch (in.op) {
+      case Op::PushInt:
+        out += format(" %lld", static_cast<long long>(in.imm_i));
+        break;
+      case Op::PushFloat:
+        out += format(" %g", in.imm_f);
+        break;
+      case Op::PushStr:
+        out += format(" \"%s\"", strings[static_cast<std::size_t>(in.a)].c_str());
+        break;
+      case Op::Load:
+      case Op::Store:
+        out += format(" s%d", in.a);
+        break;
+      case Op::Jump:
+      case Op::JumpIfFalse:
+      case Op::JumpIfTrue:
+        out += format(" -> %d", in.a);
+        break;
+      case Op::Call:
+        out += format(" %s/%d", names[static_cast<std::size_t>(in.a)].c_str(), in.b);
+        break;
+      default:
+        break;
+    }
+    out += '\n';
+  }
+  return out;
+}
+
+}  // namespace antarex::vm

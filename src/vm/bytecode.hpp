@@ -1,0 +1,67 @@
+// Bytecode for the ANTAREX split-compilation VM.
+//
+// The offline half of split compilation (paper Sec. III-B) lowers mini-C
+// functions to this portable stack bytecode (standing in for "OpenCL kernels
+// (SPIR bitcode)" in Figure 1); the online half — the JIT manager — picks or
+// creates specialized versions at call time.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "support/common.hpp"
+
+namespace antarex::vm {
+
+enum class Op : u8 {
+  // Constants
+  PushInt,     // push imm_i
+  PushFloat,   // push imm_f
+  PushStr,     // push strings[a]
+  // Locals
+  Load,        // push slots[a]
+  Store,       // slots[a] = pop
+  // Arrays
+  LoadIndex,   // idx = pop, arr = pop, push arr[idx]
+  StoreIndex,  // val = pop, idx = pop, arr = pop, arr[idx] = val
+  // Arithmetic / logic (operands popped right-then-left)
+  Add, Sub, Mul, Div, Mod,
+  Neg, Not,
+  Lt, Le, Gt, Ge, Eq, Ne,
+  // Control flow
+  Jump,         // pc = a
+  JumpIfFalse,  // if (!pop.truthy()) pc = a
+  JumpIfTrue,   // if (pop.truthy()) pc = a
+  Dup,          // duplicate top (short-circuit support)
+  Pop,          // discard top
+  // Calls
+  Call,       // callee = names[a], argc = b; args popped left-to-right order
+  Ret,        // return pop
+  RetVoid,    // return no value
+};
+
+const char* op_name(Op op);
+
+struct Instr {
+  Op op;
+  i32 a = 0;      ///< slot / jump target / pool index
+  i32 b = 0;      ///< argc for Call
+  i64 imm_i = 0;  ///< PushInt immediate
+  double imm_f = 0.0;  ///< PushFloat immediate
+};
+
+/// One compiled function body. Immutable once built; versions produced by
+/// runtime specialization are separate CompiledFunction objects.
+struct CompiledFunction {
+  std::string name;
+  u32 num_params = 0;
+  u32 num_slots = 0;  ///< params + locals
+  std::vector<Instr> code;
+  std::vector<std::string> strings;  ///< string literal pool
+  std::vector<std::string> names;    ///< callee name pool
+
+  /// Human-readable disassembly (tests, debugging, bench reports).
+  std::string disassemble() const;
+};
+
+}  // namespace antarex::vm

@@ -1,0 +1,296 @@
+#include "vm/compiler.hpp"
+
+#include <unordered_map>
+
+#include "support/strings.hpp"
+
+namespace antarex::vm {
+
+namespace {
+
+using namespace cir;
+
+class FnCompiler {
+ public:
+  explicit FnCompiler(const Function& f) : fn_(f) {}
+
+  CompiledFunction run() {
+    out_.name = fn_.name;
+    out_.num_params = static_cast<u32>(fn_.params.size());
+    push_scope();
+    for (const auto& p : fn_.params) declare(p.name);
+    compile_block_inner(*fn_.body);
+    pop_scope();
+    // Implicit return for functions that fall off the end (void or not; the
+    // checker rejects non-void fallthrough, but be safe at runtime).
+    emit(Op::RetVoid);
+    out_.num_slots = static_cast<u32>(max_slots_);
+    return std::move(out_);
+  }
+
+ private:
+  // --- slot management ------------------------------------------------------
+  void push_scope() { scopes_.emplace_back(); }
+  void pop_scope() {
+    next_slot_ -= scopes_.back().size();
+    scopes_.pop_back();
+  }
+  i32 declare(const std::string& name) {
+    const i32 slot = static_cast<i32>(next_slot_++);
+    scopes_.back()[name] = slot;
+    if (next_slot_ > max_slots_) max_slots_ = next_slot_;
+    return slot;
+  }
+  i32 lookup(const std::string& name) const {
+    for (auto it = scopes_.rbegin(); it != scopes_.rend(); ++it) {
+      auto found = it->find(name);
+      if (found != it->end()) return found->second;
+    }
+    throw Error("bytecode compiler: undeclared variable '" + name + "' in " + fn_.name);
+  }
+
+  // --- emission -------------------------------------------------------------
+  std::size_t emit(Op op, i32 a = 0, i32 b = 0) {
+    out_.code.push_back(Instr{op, a, b, 0, 0.0});
+    return out_.code.size() - 1;
+  }
+  void emit_int(i64 v) {
+    Instr in{Op::PushInt, 0, 0, v, 0.0};
+    out_.code.push_back(in);
+  }
+  void emit_float(double v) {
+    Instr in{Op::PushFloat, 0, 0, 0, v};
+    out_.code.push_back(in);
+  }
+  i32 intern_string(const std::string& s) {
+    for (std::size_t i = 0; i < out_.strings.size(); ++i)
+      if (out_.strings[i] == s) return static_cast<i32>(i);
+    out_.strings.push_back(s);
+    return static_cast<i32>(out_.strings.size() - 1);
+  }
+  i32 intern_name(const std::string& s) {
+    for (std::size_t i = 0; i < out_.names.size(); ++i)
+      if (out_.names[i] == s) return static_cast<i32>(i);
+    out_.names.push_back(s);
+    return static_cast<i32>(out_.names.size() - 1);
+  }
+  void patch(std::size_t at, i32 target) {
+    out_.code[at].a = target;
+  }
+  i32 here() const { return static_cast<i32>(out_.code.size()); }
+
+  // --- expressions ----------------------------------------------------------
+  void compile_expr(const Expr& e) {
+    switch (e.kind) {
+      case ExprKind::IntLit:
+        emit_int(static_cast<const IntLit&>(e).value);
+        break;
+      case ExprKind::FloatLit:
+        emit_float(static_cast<const FloatLit&>(e).value);
+        break;
+      case ExprKind::StrLit:
+        emit(Op::PushStr, intern_string(static_cast<const StrLit&>(e).value));
+        break;
+      case ExprKind::VarRef:
+        emit(Op::Load, lookup(static_cast<const VarRef&>(e).name));
+        break;
+      case ExprKind::Unary: {
+        const auto& u = static_cast<const UnaryExpr&>(e);
+        compile_expr(*u.operand);
+        emit(u.op == UnOp::Neg ? Op::Neg : Op::Not);
+        break;
+      }
+      case ExprKind::Binary: {
+        const auto& b = static_cast<const BinaryExpr&>(e);
+        if (b.op == BinOp::And || b.op == BinOp::Or) {
+          // Short-circuit: evaluate lhs; on the decisive value, skip rhs and
+          // keep a canonical 0/1 on the stack.
+          compile_expr(*b.lhs);
+          emit(Op::Dup);
+          const std::size_t skip =
+              emit(b.op == BinOp::And ? Op::JumpIfFalse : Op::JumpIfTrue);
+          emit(Op::Pop);
+          compile_expr(*b.rhs);
+          patch(skip, here());
+          // Normalize to 0/1 (x != 0).
+          emit_int(0);
+          emit(Op::Ne);
+          break;
+        }
+        compile_expr(*b.lhs);
+        compile_expr(*b.rhs);
+        switch (b.op) {
+          case BinOp::Add: emit(Op::Add); break;
+          case BinOp::Sub: emit(Op::Sub); break;
+          case BinOp::Mul: emit(Op::Mul); break;
+          case BinOp::Div: emit(Op::Div); break;
+          case BinOp::Mod: emit(Op::Mod); break;
+          case BinOp::Lt: emit(Op::Lt); break;
+          case BinOp::Le: emit(Op::Le); break;
+          case BinOp::Gt: emit(Op::Gt); break;
+          case BinOp::Ge: emit(Op::Ge); break;
+          case BinOp::Eq: emit(Op::Eq); break;
+          case BinOp::Ne: emit(Op::Ne); break;
+          default: ANTAREX_CHECK(false, "unreachable binop");
+        }
+        break;
+      }
+      case ExprKind::Call: {
+        const auto& c = static_cast<const CallExpr&>(e);
+        for (const auto& a : c.args) compile_expr(*a);
+        emit(Op::Call, intern_name(c.callee), static_cast<i32>(c.args.size()));
+        break;
+      }
+      case ExprKind::Index: {
+        const auto& ix = static_cast<const IndexExpr&>(e);
+        compile_expr(*ix.base);
+        compile_expr(*ix.index);
+        emit(Op::LoadIndex);
+        break;
+      }
+    }
+  }
+
+  // --- statements -----------------------------------------------------------
+  struct LoopCtx {
+    std::vector<std::size_t> breaks;     ///< Jump instrs to patch to loop end
+    i32 continue_target = 0;             ///< jump target for continue
+    std::vector<std::size_t> continues;  ///< patched later for for-loops
+  };
+
+  void compile_block(const Block& b) {
+    push_scope();
+    compile_block_inner(b);
+    pop_scope();
+  }
+
+  void compile_block_inner(const Block& b) {
+    for (const auto& s : b.stmts) compile_stmt(*s);
+  }
+
+  void compile_stmt(const Stmt& s) {
+    switch (s.kind) {
+      case StmtKind::Block:
+        compile_block(static_cast<const Block&>(s));
+        break;
+      case StmtKind::ExprStmt:
+        compile_expr(*static_cast<const ExprStmt&>(s).expr);
+        emit(Op::Pop);
+        break;
+      case StmtKind::VarDecl: {
+        const auto& d = static_cast<const VarDeclStmt&>(s);
+        if (d.init)
+          compile_expr(*d.init);
+        else
+          emit_int(0);  // default-initialize
+        emit(Op::Store, declare(d.name));
+        break;
+      }
+      case StmtKind::Assign: {
+        const auto& a = static_cast<const AssignStmt&>(s);
+        if (a.target->kind == ExprKind::VarRef) {
+          compile_expr(*a.value);
+          emit(Op::Store, lookup(static_cast<const VarRef&>(*a.target).name));
+        } else if (a.target->kind == ExprKind::Index) {
+          const auto& ix = static_cast<const IndexExpr&>(*a.target);
+          compile_expr(*ix.base);
+          compile_expr(*ix.index);
+          compile_expr(*a.value);
+          emit(Op::StoreIndex);
+        } else {
+          throw Error("bytecode compiler: invalid assignment target");
+        }
+        break;
+      }
+      case StmtKind::If: {
+        const auto& i = static_cast<const IfStmt&>(s);
+        compile_expr(*i.cond);
+        const std::size_t jz = emit(Op::JumpIfFalse);
+        compile_block(*i.then_block);
+        if (i.else_block) {
+          const std::size_t jend = emit(Op::Jump);
+          patch(jz, here());
+          compile_block(*i.else_block);
+          patch(jend, here());
+        } else {
+          patch(jz, here());
+        }
+        break;
+      }
+      case StmtKind::While: {
+        const auto& w = static_cast<const WhileStmt&>(s);
+        const i32 top = here();
+        compile_expr(*w.cond);
+        const std::size_t jz = emit(Op::JumpIfFalse);
+        loops_.push_back(LoopCtx{{}, top, {}});
+        compile_block(*w.body);
+        for (std::size_t c : loops_.back().continues) patch(c, top);
+        emit(Op::Jump, top);
+        patch(jz, here());
+        for (std::size_t brk : loops_.back().breaks) patch(brk, here());
+        loops_.pop_back();
+        break;
+      }
+      case StmtKind::For: {
+        const auto& f = static_cast<const ForStmt&>(s);
+        push_scope();  // for-init scope
+        if (f.init) compile_stmt(*f.init);
+        const i32 top = here();
+        std::size_t jz = 0;
+        bool has_cond = false;
+        if (f.cond) {
+          compile_expr(*f.cond);
+          jz = emit(Op::JumpIfFalse);
+          has_cond = true;
+        }
+        loops_.push_back(LoopCtx{{}, 0, {}});
+        compile_block(*f.body);
+        const i32 step_pc = here();
+        for (std::size_t c : loops_.back().continues) patch(c, step_pc);
+        if (f.step) compile_stmt(*f.step);
+        emit(Op::Jump, top);
+        if (has_cond) patch(jz, here());
+        for (std::size_t brk : loops_.back().breaks) patch(brk, here());
+        loops_.pop_back();
+        pop_scope();
+        break;
+      }
+      case StmtKind::Return: {
+        const auto& r = static_cast<const ReturnStmt&>(s);
+        if (r.value) {
+          compile_expr(*r.value);
+          emit(Op::Ret);
+        } else {
+          emit(Op::RetVoid);
+        }
+        break;
+      }
+      case StmtKind::Break: {
+        ANTAREX_REQUIRE(!loops_.empty(), "bytecode compiler: break outside loop");
+        loops_.back().breaks.push_back(emit(Op::Jump));
+        break;
+      }
+      case StmtKind::Continue: {
+        ANTAREX_REQUIRE(!loops_.empty(), "bytecode compiler: continue outside loop");
+        loops_.back().continues.push_back(emit(Op::Jump));
+        break;
+      }
+    }
+  }
+
+  const Function& fn_;
+  CompiledFunction out_;
+  std::vector<std::unordered_map<std::string, i32>> scopes_;
+  std::size_t next_slot_ = 0;
+  std::size_t max_slots_ = 0;
+  std::vector<LoopCtx> loops_;
+};
+
+}  // namespace
+
+CompiledFunction compile_function(const cir::Function& f) {
+  ANTAREX_REQUIRE(f.body != nullptr, "compile_function: function has no body");
+  return FnCompiler(f).run();
+}
+
+}  // namespace antarex::vm

@@ -1,0 +1,15 @@
+// Bytecode compiler: mini-C AST -> VM bytecode (the offline half of split
+// compilation).
+#pragma once
+
+#include "cir/ast.hpp"
+#include "vm/bytecode.hpp"
+
+namespace antarex::vm {
+
+/// Compiles one function. Throws antarex::Error on constructs the VM cannot
+/// express (should not happen for parser-produced ASTs that pass
+/// cir::check_module).
+CompiledFunction compile_function(const cir::Function& f);
+
+}  // namespace antarex::vm

@@ -1,0 +1,120 @@
+// Execution engine + JIT manager for the ANTAREX VM.
+//
+// The engine owns, per function name, a *versioned* entry: the generic
+// bytecode plus any number of runtime-specialized variants guarded by the
+// value of one argument. This is the mechanism behind the paper's Figure 4
+// (`PrepareSpecialize` / `Specialize` / `AddVersion`): the DSL engine calls
+// into this API when weaving dynamic aspects.
+#pragma once
+
+#include <functional>
+#include <span>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "cir/ast.hpp"
+#include "vm/bytecode.hpp"
+#include "vm/value.hpp"
+
+namespace antarex::vm {
+
+using HostFunction = std::function<Value(std::span<const Value>)>;
+
+/// Observer invoked at dispatch time for every call to a *bytecode* function,
+/// before version selection. Dynamic aspects (paper Figure 4) hang off this:
+/// the DSL runtime inspects the runtime argument values and may install new
+/// specialized versions before the call proceeds.
+using CallHook = std::function<void(const std::string& name,
+                                    const std::vector<Value>& args)>;
+
+/// Dispatch statistics per function (exposed to monitors and benches).
+struct DispatchStats {
+  u64 calls = 0;            ///< total calls through this entry
+  u64 specialized_hits = 0; ///< calls served by a specialized variant
+};
+
+class Engine {
+ public:
+  Engine();
+
+  // --- program loading ------------------------------------------------------
+
+  /// Compile and register every function of a module (replaces same-named
+  /// entries, dropping their specializations).
+  void load_module(const cir::Module& m);
+
+  /// Register a single compiled function (generic version).
+  void load_function(CompiledFunction f);
+
+  /// Register a native host function (math builtins are pre-registered;
+  /// instrumentation probes like `profile_args` are added by the DSL runtime).
+  void register_host(const std::string& name, HostFunction fn);
+  bool has_host(const std::string& name) const;
+
+  // --- JIT manager: function multiversioning --------------------------------
+
+  /// Declare that `func` may be specialized on parameter `param_index`.
+  /// Subsequent calls consult the variant table before the generic version.
+  void prepare_specialize(const std::string& func, int param_index);
+
+  /// Register a specialized variant valid when argument `prepare_specialize`d
+  /// parameter equals `guard_value`.
+  void add_version(const std::string& func, i64 guard_value, CompiledFunction variant);
+
+  /// Number of installed variants for a function (0 if none / unknown).
+  std::size_t version_count(const std::string& func) const;
+  int specialize_param(const std::string& func) const;  ///< -1 if not prepared
+  DispatchStats dispatch_stats(const std::string& func) const;
+
+  // --- execution ------------------------------------------------------------
+
+  /// Call a function (bytecode or host) by name.
+  Value call(const std::string& func, std::vector<Value> args);
+
+  /// Instructions executed since construction / last reset. This is the
+  /// engine's deterministic "cycle" counter: the performance metric used by
+  /// iterative compilation and the autotuner when wall time would be noisy.
+  u64 executed_instructions() const { return executed_; }
+  void reset_instruction_count() {
+    executed_ = 0;
+    per_function_.clear();
+  }
+
+  /// Guard against runaway programs (default: 2^40 instructions).
+  void set_instruction_limit(u64 limit) { instruction_limit_ = limit; }
+
+  /// Instructions attributed to one function's own body (callees excluded —
+  /// a flat, not cumulative, profile). The monitoring layer uses this for
+  /// hot-function detection without source instrumentation.
+  u64 function_instructions(const std::string& name) const;
+
+  bool has_function(const std::string& name) const;
+  const CompiledFunction* generic_version(const std::string& name) const;
+
+  /// Install (or clear, with nullptr) the dynamic-weaving call hook.
+  void set_call_hook(CallHook hook) { call_hook_ = std::move(hook); }
+
+ private:
+  struct Entry {
+    CompiledFunction generic;
+    int specialize_param = -1;
+    std::vector<std::pair<i64, CompiledFunction>> variants;
+    DispatchStats stats;
+  };
+
+  Value execute(const CompiledFunction& f, std::vector<Value>& args);
+  Value dispatch(const std::string& name, std::vector<Value>& args);
+
+  std::unordered_map<std::string, Entry> functions_;
+  std::unordered_map<std::string, HostFunction> host_;
+  std::unordered_map<std::string, u64> per_function_;
+  CallHook call_hook_;
+  bool in_hook_ = false;
+  u64 executed_ = 0;
+  u64 instruction_limit_ = u64{1} << 40;
+  int call_depth_ = 0;
+  static constexpr int kMaxCallDepth = 256;
+};
+
+}  // namespace antarex::vm

@@ -1,0 +1,54 @@
+// Runtime values for the split-compilation VM.
+#pragma once
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "support/common.hpp"
+
+namespace antarex::vm {
+
+/// Dynamically typed runtime value. Arrays are shared buffers so that host
+/// code and mini-C code can exchange data without copies (the VM plays the
+/// role of the "OpenCL host runtime" box in the paper's Figure 1: kernels get
+/// handed buffers).
+class Value {
+ public:
+  enum class Kind { Int, Float, Str, IntArr, FloatArr };
+
+  Value() : kind_(Kind::Int), i_(0) {}
+  static Value from_int(i64 v);
+  static Value from_float(double v);
+  static Value from_str(std::string v);
+  static Value from_int_array(std::shared_ptr<std::vector<i64>> v);
+  static Value from_float_array(std::shared_ptr<std::vector<double>> v);
+
+  Kind kind() const { return kind_; }
+  bool is_int() const { return kind_ == Kind::Int; }
+  bool is_float() const { return kind_ == Kind::Float; }
+  bool is_numeric() const { return is_int() || is_float(); }
+  bool is_str() const { return kind_ == Kind::Str; }
+  bool is_array() const { return kind_ == Kind::IntArr || kind_ == Kind::FloatArr; }
+
+  i64 as_int() const;
+  double as_float() const;            ///< numeric coercion: int -> double
+  const std::string& as_str() const;
+  std::vector<i64>& int_array() const;
+  std::vector<double>& float_array() const;
+
+  /// Truthiness: nonzero numeric; arrays/strings are always true.
+  bool truthy() const;
+
+  std::string to_string() const;
+
+ private:
+  Kind kind_;
+  i64 i_ = 0;
+  double f_ = 0.0;
+  std::shared_ptr<std::string> s_;
+  std::shared_ptr<std::vector<i64>> ia_;
+  std::shared_ptr<std::vector<double>> fa_;
+};
+
+}  // namespace antarex::vm

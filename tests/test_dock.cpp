@@ -1,0 +1,276 @@
+// Tests for the drug-discovery use case: grid scoring, pose transforms,
+// docking search behaviour, heavy-tailed workload generation, and the
+// static-vs-dynamic load-balancing simulators.
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "dock/dock.hpp"
+#include "support/stats.hpp"
+
+namespace antarex::dock {
+namespace {
+
+// --------------------------------------------------------------------------
+// Molecule / transforms
+// --------------------------------------------------------------------------
+
+TEST(MoleculeTest, CenterMovesCentroidToOrigin) {
+  Molecule m;
+  m.atoms = {{1, 2, 3, 1.5, 0}, {3, 4, 5, 1.5, 0}};
+  m.center();
+  const auto c = m.centroid();
+  EXPECT_NEAR(c[0], 0.0, 1e-12);
+  EXPECT_NEAR(c[1], 0.0, 1e-12);
+  EXPECT_NEAR(c[2], 0.0, 1e-12);
+}
+
+TEST(Transform, IdentityPoseIsTranslationOnly) {
+  Atom a{1.0, 2.0, 3.0, 1.5, 0.0};
+  Pose p;
+  p.tx = 10;
+  p.ty = 20;
+  p.tz = 30;
+  const auto r = transform(p, a);
+  EXPECT_NEAR(r[0], 11.0, 1e-12);
+  EXPECT_NEAR(r[1], 22.0, 1e-12);
+  EXPECT_NEAR(r[2], 33.0, 1e-12);
+}
+
+TEST(Transform, RotationPreservesDistanceFromPivot) {
+  Rng rng(3);
+  for (int i = 0; i < 100; ++i) {
+    Atom a{rng.uniform(-5, 5), rng.uniform(-5, 5), rng.uniform(-5, 5), 1.5, 0};
+    Pose p;
+    p.rx = rng.uniform(0, 6.28);
+    p.ry = rng.uniform(0, 6.28);
+    p.rz = rng.uniform(0, 6.28);
+    const auto r = transform(p, a);
+    const double before = std::sqrt(a.x * a.x + a.y * a.y + a.z * a.z);
+    const double after = std::sqrt(r[0] * r[0] + r[1] * r[1] + r[2] * r[2]);
+    EXPECT_NEAR(before, after, 1e-9);
+  }
+}
+
+// --------------------------------------------------------------------------
+// AffinityGrid
+// --------------------------------------------------------------------------
+
+TEST(Grid, TrilinearInterpolationIsExactOnNodes) {
+  AffinityGrid g(4, 4, 4, 2.0);
+  g.at(1, 2, 3) = -7.5;
+  EXPECT_DOUBLE_EQ(g.sample(2.0, 4.0, 6.0), -7.5);
+}
+
+TEST(Grid, InterpolatesBetweenNodes) {
+  AffinityGrid g(2, 2, 2, 1.0);
+  g.at(0, 0, 0) = 0.0;
+  g.at(1, 0, 0) = 10.0;
+  EXPECT_NEAR(g.sample(0.25, 0.0, 0.0), 2.5, 1e-12);
+  EXPECT_NEAR(g.sample(0.5, 0.0, 0.0), 5.0, 1e-12);
+}
+
+TEST(Grid, OutOfBoxIsPenalized) {
+  AffinityGrid g(4, 4, 4, 1.0);
+  EXPECT_GT(g.sample(-0.5, 1.0, 1.0), 10.0);
+  EXPECT_GT(g.sample(1.0, 1.0, 99.0), 10.0);
+}
+
+TEST(Grid, SyntheticPocketHasAttractiveWells) {
+  Rng rng(11);
+  const AffinityGrid g = AffinityGrid::synthetic_pocket(rng, 24, 1.0, 3);
+  double min_v = 1e300;
+  for (std::size_t k = 0; k < g.nz(); ++k)
+    for (std::size_t j = 0; j < g.ny(); ++j)
+      for (std::size_t i = 0; i < g.nx(); ++i) min_v = std::min(min_v, g.at(i, j, k));
+  EXPECT_LT(min_v, -1.0);  // somewhere clearly favourable
+  // Walls repel.
+  EXPECT_GT(g.at(0, 12, 12), 1.0);
+}
+
+// --------------------------------------------------------------------------
+// Docking
+// --------------------------------------------------------------------------
+
+class DockTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    Rng grid_rng(2016);
+    grid_ = std::make_unique<AffinityGrid>(
+        AffinityGrid::synthetic_pocket(grid_rng, 20, 1.0, 2));
+  }
+  std::unique_ptr<AffinityGrid> grid_;
+};
+
+TEST_F(DockTest, FindsFavourablePose) {
+  Rng rng(1);
+  const Molecule lig = random_ligand(rng, 10, 40);
+  DockParams params;
+  Rng pose_rng(2);
+  const DockResult r = dock_ligand(*grid_, lig, params, pose_rng);
+  EXPECT_LT(r.best_score, 0.0);  // found a binding pose
+  EXPECT_GT(r.poses_evaluated, 0u);
+  EXPECT_LE(r.poses_evaluated,
+            static_cast<u64>(params.rotations) * params.translations);
+}
+
+TEST_F(DockTest, DeterministicGivenSeeds) {
+  Rng rng(1);
+  const Molecule lig = random_ligand(rng, 10, 40);
+  Rng p1(9), p2(9);
+  const DockResult a = dock_ligand(*grid_, lig, {}, p1);
+  const DockResult b = dock_ligand(*grid_, lig, {}, p2);
+  EXPECT_DOUBLE_EQ(a.best_score, b.best_score);
+  EXPECT_EQ(a.poses_evaluated, b.poses_evaluated);
+}
+
+TEST_F(DockTest, MorePosesNeverWorse) {
+  Rng rng(1);
+  const Molecule lig = random_ligand(rng, 10, 40);
+  DockParams few{8, 16, 0.25};
+  DockParams many{32, 64, 0.25};
+  Rng p1(5), p2(5);
+  const double s_few = dock_ligand(*grid_, lig, few, p1).best_score;
+  const double s_many = dock_ligand(*grid_, lig, many, p2).best_score;
+  EXPECT_LE(s_many, s_few + 1e-9);
+}
+
+TEST_F(DockTest, RefinementNeverWorsensAndUsuallyImproves) {
+  Rng rng(1);
+  const Molecule lig = random_ligand(rng, 12, 40);
+  Rng p1(5);
+  const DockResult coarse = dock_ligand(*grid_, lig, {12, 24, 0.25}, p1);
+  Rng p2(6);
+  const DockResult refined =
+      refine_pose(*grid_, lig, coarse.best_pose, {}, p2);
+  EXPECT_LE(refined.best_score, coarse.best_score + 1e-12);
+  // With 400 annealing steps the local optimizer should find a clearly
+  // better pose than 288 random ones.
+  EXPECT_LT(refined.best_score, coarse.best_score - 1e-6);
+}
+
+TEST_F(DockTest, RefinementIsDeterministic) {
+  Rng rng(1);
+  const Molecule lig = random_ligand(rng, 12, 40);
+  Pose start;
+  start.tx = start.ty = start.tz = 9.0;
+  Rng a(7), b(7);
+  const DockResult r1 = refine_pose(*grid_, lig, start, {}, a);
+  const DockResult r2 = refine_pose(*grid_, lig, start, {}, b);
+  EXPECT_DOUBLE_EQ(r1.best_score, r2.best_score);
+  EXPECT_EQ(r1.poses_evaluated, r2.poses_evaluated);
+}
+
+TEST_F(DockTest, RefinementValidatesParams) {
+  Rng rng(1);
+  const Molecule lig = random_ligand(rng, 12, 20);
+  Pose start;
+  RefineParams bad;
+  bad.steps = 0;
+  EXPECT_THROW(refine_pose(*grid_, lig, start, bad, rng), Error);
+  bad = {};
+  bad.t_end = 0.0;
+  EXPECT_THROW(refine_pose(*grid_, lig, start, bad, rng), Error);
+}
+
+TEST(LigandGen, HeavyTailedSizes) {
+  Rng rng(42);
+  RunningStats sizes;
+  for (int i = 0; i < 3000; ++i)
+    sizes.add(static_cast<double>(random_ligand(rng).atoms.size()));
+  // Heavy tail: max far beyond the mean; median modest.
+  EXPECT_GT(sizes.max(), 5.0 * sizes.mean());
+  EXPECT_GE(sizes.min(), 8.0);
+  EXPECT_LE(sizes.max(), 400.0);  // clamped
+}
+
+TEST(LigandGen, CostUnitsScaleWithAtomsAndPoses) {
+  Molecule small;
+  small.atoms.resize(10);
+  Molecule big;
+  big.atoms.resize(100);
+  const DockParams p{16, 32, 0.25};
+  EXPECT_NEAR(ligand_cost_units(big, p) / ligand_cost_units(small, p), 10.0, 1e-9);
+  const DockParams p2{32, 32, 0.25};
+  EXPECT_NEAR(ligand_cost_units(small, p2) / ligand_cost_units(small, p), 2.0, 1e-9);
+}
+
+// --------------------------------------------------------------------------
+// Load balancing
+// --------------------------------------------------------------------------
+
+std::vector<double> heavy_tailed_costs(std::size_t n, u64 seed = 99) {
+  Rng rng(seed);
+  std::vector<double> costs;
+  costs.reserve(n);
+  for (std::size_t i = 0; i < n; ++i) costs.push_back(rng.pareto(1.0, 1.4));
+  return costs;
+}
+
+TEST(Schedule, StaticConservesWork) {
+  const auto costs = heavy_tailed_costs(500);
+  const ScheduleResult r = schedule_static(costs, 8);
+  double total = 0.0;
+  for (double b : r.worker_busy) total += b;
+  double expect = 0.0;
+  for (double c : costs) expect += c;
+  EXPECT_NEAR(total, expect, 1e-9);
+  EXPECT_GE(r.imbalance, 1.0);
+}
+
+TEST(Schedule, DynamicBeatsStaticOnHeavyTails) {
+  // The paper's Sec. VII-a premise: unpredictable task times make dynamic
+  // balancing essential.
+  const auto costs = heavy_tailed_costs(1000);
+  const ScheduleResult stat = schedule_static(costs, 16);
+  const ScheduleResult dyn = schedule_dynamic(costs, 16, 1, 0.0);
+  EXPECT_LT(dyn.makespan, 0.8 * stat.makespan);
+  EXPECT_LT(dyn.imbalance, stat.imbalance);
+}
+
+TEST(Schedule, DynamicLowerBoundedByCriticalPath) {
+  const auto costs = heavy_tailed_costs(200);
+  const ScheduleResult dyn = schedule_dynamic(costs, 8, 1, 0.0);
+  double total = 0.0, longest = 0.0;
+  for (double c : costs) {
+    total += c;
+    longest = std::max(longest, c);
+  }
+  EXPECT_GE(dyn.makespan + 1e-9, total / 8.0);
+  EXPECT_GE(dyn.makespan + 1e-9, longest);
+}
+
+TEST(Schedule, OverheadMakesTinyBatchesExpensive) {
+  // With per-pull overhead, batch=1 pays the most overhead; the optimum
+  // batch is interior — exactly the knob the autotuner controls in UC1.
+  std::vector<double> costs(2000, 0.01);  // uniform small tasks
+  const double overhead = 0.02;
+  const ScheduleResult b1 = schedule_dynamic(costs, 8, 1, overhead);
+  const ScheduleResult b16 = schedule_dynamic(costs, 8, 16, overhead);
+  EXPECT_LT(b16.makespan, b1.makespan);
+}
+
+TEST(Schedule, HugeBatchDegeneratesTowardStatic) {
+  const auto costs = heavy_tailed_costs(400);
+  const ScheduleResult huge = schedule_dynamic(costs, 8, 400, 0.0);
+  const ScheduleResult fine = schedule_dynamic(costs, 8, 1, 0.0);
+  EXPECT_GT(huge.makespan, fine.makespan);
+}
+
+TEST(Schedule, SingleWorkerMakespanIsTotal) {
+  const auto costs = heavy_tailed_costs(50);
+  double total = 0.0;
+  for (double c : costs) total += c;
+  EXPECT_NEAR(schedule_static(costs, 1).makespan, total, 1e-9);
+  EXPECT_NEAR(schedule_dynamic(costs, 1, 1, 0.0).makespan, total, 1e-9);
+}
+
+TEST(Schedule, ValidatesArguments) {
+  EXPECT_THROW(schedule_static({1.0}, 0), Error);
+  EXPECT_THROW(schedule_dynamic({1.0}, 0), Error);
+  EXPECT_THROW(schedule_dynamic({1.0}, 1, 0), Error);
+  EXPECT_THROW(schedule_dynamic({1.0}, 1, 1, -0.1), Error);
+}
+
+}  // namespace
+}  // namespace antarex::dock

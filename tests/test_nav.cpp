@@ -1,0 +1,389 @@
+// Tests for the navigation use case: road network generation, time-dependent
+// routing (Dijkstra vs A*), K-alternatives, the diurnal workload, and the
+// server simulation with quality/latency knobs.
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "nav/nav.hpp"
+#include "nav/server.hpp"
+#include "support/stats.hpp"
+
+namespace antarex::nav {
+namespace {
+
+RoadGraph test_city(u64 seed = 7, int w = 20, int h = 20) {
+  Rng rng(seed);
+  return RoadGraph::grid_city(rng, w, h);
+}
+
+// --------------------------------------------------------------------------
+// SpeedProfiles
+// --------------------------------------------------------------------------
+
+TEST(Profiles, CongestionPeaksAtRushHours) {
+  const double rush = SpeedProfiles::congestion(8.5 * 3600);
+  const double night = SpeedProfiles::congestion(3.0 * 3600);
+  EXPECT_GT(rush, 0.9);
+  EXPECT_LT(night, 0.05);
+}
+
+TEST(Profiles, ArterialsSufferMostUnderCongestion) {
+  SpeedProfiles p;
+  const double t = 8.5 * 3600;
+  EXPECT_LT(p.multiplier(2, t), p.multiplier(1, t));
+  EXPECT_LT(p.multiplier(1, t), p.multiplier(0, t));
+  for (int c = 0; c < SpeedProfiles::kClasses; ++c) {
+    EXPECT_GT(p.multiplier(c, t), 0.0);
+    EXPECT_NEAR(p.multiplier(c, 3 * 3600), 1.0, 0.05);  // free flow at night
+  }
+}
+
+TEST(Profiles, TimeWrapsAroundMidnight) {
+  SpeedProfiles p;
+  EXPECT_DOUBLE_EQ(p.multiplier(2, 0.0), p.multiplier(2, 86400.0));
+  EXPECT_DOUBLE_EQ(p.multiplier(2, 8.5 * 3600),
+                   p.multiplier(2, 8.5 * 3600 + 86400.0));
+}
+
+// --------------------------------------------------------------------------
+// RoadGraph
+// --------------------------------------------------------------------------
+
+TEST(Graph, GridCityShape) {
+  const RoadGraph g = test_city();
+  EXPECT_EQ(g.num_nodes(), 400u);
+  EXPECT_GT(g.num_edges(), 1000u);  // bidirectional grid minus removals
+  EXPECT_GT(g.max_speed_mps(), 20.0);  // arterials exist
+}
+
+TEST(Graph, EdgesAreBidirectional) {
+  const RoadGraph g = test_city();
+  std::size_t asymmetric = 0;
+  for (u32 v = 0; v < g.num_nodes(); ++v) {
+    for (const auto& e : g.adj[v]) {
+      bool back = false;
+      for (const auto& r : g.adj[e.to])
+        if (r.to == v) back = true;
+      if (!back) ++asymmetric;
+    }
+  }
+  EXPECT_EQ(asymmetric, 0u);
+}
+
+TEST(Graph, DeterministicForSeed) {
+  const RoadGraph a = test_city(5);
+  const RoadGraph b = test_city(5);
+  EXPECT_EQ(a.num_edges(), b.num_edges());
+}
+
+// --------------------------------------------------------------------------
+// Routing
+// --------------------------------------------------------------------------
+
+TEST(Routing, FindsPathAndItIsConnected) {
+  const RoadGraph g = test_city();
+  SpeedProfiles p;
+  const Route r = shortest_path_td(g, p, 0, 399, 3 * 3600, {false, 1.0});
+  ASSERT_TRUE(r.found());
+  EXPECT_EQ(r.nodes.front(), 0u);
+  EXPECT_EQ(r.nodes.back(), 399u);
+  // Consecutive nodes share an edge.
+  for (std::size_t i = 0; i + 1 < r.nodes.size(); ++i) {
+    bool connected = false;
+    for (const auto& e : g.adj[r.nodes[i]])
+      if (e.to == r.nodes[i + 1]) connected = true;
+    EXPECT_TRUE(connected) << "hop " << i;
+  }
+  EXPECT_GT(r.travel_time_s, 0.0);
+}
+
+TEST(Routing, AStarMatchesDijkstraWithAdmissibleHeuristic) {
+  const RoadGraph g = test_city();
+  SpeedProfiles p;
+  Rng rng(17);
+  for (int i = 0; i < 25; ++i) {
+    const u32 from = static_cast<u32>(rng.index(g.num_nodes()));
+    const u32 to = static_cast<u32>(rng.index(g.num_nodes()));
+    const double depart = rng.uniform(0.0, 86400.0);
+    const Route d = shortest_path_td(g, p, from, to, depart, {false, 1.0});
+    const Route a = shortest_path_td(g, p, from, to, depart, {true, 1.0});
+    ASSERT_EQ(d.found(), a.found());
+    if (d.found()) {
+      EXPECT_NEAR(d.travel_time_s, a.travel_time_s, 1e-6);
+    }
+  }
+}
+
+TEST(Routing, AStarExpandsFewerNodes) {
+  const RoadGraph g = test_city(7, 40, 40);
+  SpeedProfiles p;
+  const Route d = shortest_path_td(g, p, 0, 1599, 3 * 3600, {false, 1.0});
+  const Route a = shortest_path_td(g, p, 0, 1599, 3 * 3600, {true, 1.0});
+  ASSERT_TRUE(d.found() && a.found());
+  EXPECT_LT(a.expanded, d.expanded);
+}
+
+TEST(Routing, InflatedHeuristicTradesQualityForExpansions) {
+  const RoadGraph g = test_city(7, 40, 40);
+  SpeedProfiles p;
+  const Route exact = shortest_path_td(g, p, 0, 1599, 8.5 * 3600, {true, 1.0});
+  const Route fast = shortest_path_td(g, p, 0, 1599, 8.5 * 3600, {true, 2.0});
+  ASSERT_TRUE(exact.found() && fast.found());
+  EXPECT_LE(fast.expanded, exact.expanded);
+  EXPECT_GE(fast.travel_time_s, exact.travel_time_s - 1e-9);
+  // Bounded suboptimality: epsilon-inflated A* is at most epsilon-worse.
+  EXPECT_LE(fast.travel_time_s, 2.0 * exact.travel_time_s + 1e-6);
+}
+
+TEST(Routing, RushHourRoutesTakeLonger) {
+  const RoadGraph g = test_city();
+  SpeedProfiles p;
+  const Route night = shortest_path_td(g, p, 0, 399, 3 * 3600);
+  const Route rush = shortest_path_td(g, p, 0, 399, 8.5 * 3600);
+  ASSERT_TRUE(night.found() && rush.found());
+  EXPECT_GT(rush.travel_time_s, 1.2 * night.travel_time_s);
+}
+
+TEST(Routing, SameSourceAndTargetIsTrivial) {
+  const RoadGraph g = test_city();
+  SpeedProfiles p;
+  const Route r = shortest_path_td(g, p, 5, 5, 0.0);
+  ASSERT_TRUE(r.found());
+  EXPECT_DOUBLE_EQ(r.travel_time_s, 0.0);
+  EXPECT_EQ(r.nodes.size(), 1u);
+}
+
+TEST(Routing, RejectsBadArguments) {
+  const RoadGraph g = test_city();
+  SpeedProfiles p;
+  EXPECT_THROW(shortest_path_td(g, p, 0, 100000, 0.0), Error);
+  EXPECT_THROW(shortest_path_td(g, p, 0, 1, 0.0, {true, 0.5}), Error);
+}
+
+// --------------------------------------------------------------------------
+// ALT landmarks
+// --------------------------------------------------------------------------
+
+TEST(Alt, LowerBoundIsAdmissible) {
+  const RoadGraph g = test_city(7, 24, 24);
+  SpeedProfiles p;
+  Rng lrng(41);
+  const Landmarks lm(g, 6, lrng);
+  Rng qrng(42);
+  for (int q = 0; q < 30; ++q) {
+    const u32 a = static_cast<u32>(qrng.index(g.num_nodes()));
+    const u32 b = static_cast<u32>(qrng.index(g.num_nodes()));
+    const double depart = qrng.uniform(0.0, 86400.0);
+    const Route exact = shortest_path_td(g, p, a, b, depart, {false, 1.0});
+    if (!exact.found()) continue;
+    EXPECT_LE(lm.lower_bound_s(a, b), exact.travel_time_s + 1e-9)
+        << a << "->" << b;
+  }
+  EXPECT_DOUBLE_EQ(lm.lower_bound_s(3, 3), 0.0);
+}
+
+TEST(Alt, PreservesOptimalityAndCutsExpansions) {
+  const RoadGraph g = test_city(7, 40, 40);
+  SpeedProfiles p;
+  Rng lrng(43);
+  const Landmarks lm(g, 8, lrng);
+
+  QueryOptions plain{true, 1.0, nullptr};
+  QueryOptions alt{true, 1.0, &lm};
+
+  Rng qrng(44);
+  u64 plain_exp = 0, alt_exp = 0;
+  for (int q = 0; q < 15; ++q) {
+    const u32 a = static_cast<u32>(qrng.index(g.num_nodes()));
+    const u32 b = static_cast<u32>(qrng.index(g.num_nodes()));
+    const double depart = qrng.uniform(0.0, 86400.0);
+    const Route r1 = shortest_path_td(g, p, a, b, depart, plain);
+    const Route r2 = shortest_path_td(g, p, a, b, depart, alt);
+    ASSERT_EQ(r1.found(), r2.found());
+    if (!r1.found()) continue;
+    EXPECT_NEAR(r1.travel_time_s, r2.travel_time_s, 1e-6);
+    plain_exp += r1.expanded;
+    alt_exp += r2.expanded;
+  }
+  // Landmark bounds dominate euclidean/max-speed bounds on this network.
+  EXPECT_LT(alt_exp, plain_exp);
+}
+
+TEST(Alt, RejectsBadConfig) {
+  const RoadGraph g = test_city();
+  Rng rng(1);
+  EXPECT_THROW(Landmarks(g, 0, rng), Error);
+}
+
+// --------------------------------------------------------------------------
+// K alternatives
+// --------------------------------------------------------------------------
+
+TEST(Alternatives, ProducesDistinctRoutes) {
+  const RoadGraph g = test_city();
+  SpeedProfiles p;
+  const auto routes = k_alternatives(g, p, 0, 399, 3 * 3600, 3);
+  ASSERT_GE(routes.size(), 2u);
+  std::set<std::string> distinct;
+  for (const auto& r : routes) {
+    std::string key;
+    for (u32 v : r.nodes) key += std::to_string(v) + ",";
+    distinct.insert(key);
+  }
+  EXPECT_EQ(distinct.size(), routes.size());
+  // Sorted best-first and the best is the true optimum.
+  const Route opt = shortest_path_td(g, p, 0, 399, 3 * 3600);
+  EXPECT_NEAR(routes.front().travel_time_s, opt.travel_time_s, 1e-6);
+  for (std::size_t i = 1; i < routes.size(); ++i)
+    EXPECT_GE(routes[i].travel_time_s, routes[i - 1].travel_time_s - 1e-9);
+}
+
+TEST(Alternatives, KOneIsJustTheShortestPath) {
+  const RoadGraph g = test_city();
+  SpeedProfiles p;
+  const auto routes = k_alternatives(g, p, 3, 388, 0.0, 1);
+  ASSERT_EQ(routes.size(), 1u);
+}
+
+// --------------------------------------------------------------------------
+// Workload generation
+// --------------------------------------------------------------------------
+
+TEST(Workload, DiurnalRateModulatesArrivals) {
+  const RoadGraph g = test_city();
+  Rng rng(23);
+  // One hour at night vs one hour at morning rush.
+  const auto night =
+      diurnal_requests(rng, g, 3600.0, 0.05, 1.0, 3.0 * 3600.0);
+  Rng rng2(23);
+  const auto rush =
+      diurnal_requests(rng2, g, 3600.0, 0.05, 1.0, 8.0 * 3600.0);
+  EXPECT_GT(rush.size(), 3 * std::max<std::size_t>(night.size(), 1));
+}
+
+TEST(Workload, RequestsSortedAndValid) {
+  const RoadGraph g = test_city();
+  Rng rng(29);
+  const auto reqs = diurnal_requests(rng, g, 7200.0, 0.2, 0.5, 7.5 * 3600.0);
+  ASSERT_FALSE(reqs.empty());
+  for (std::size_t i = 0; i < reqs.size(); ++i) {
+    if (i) {
+      EXPECT_GE(reqs[i].arrival_s, reqs[i - 1].arrival_s);
+    }
+    EXPECT_LT(reqs[i].from, g.num_nodes());
+    EXPECT_LT(reqs[i].to, g.num_nodes());
+    EXPECT_NE(reqs[i].from, reqs[i].to);
+  }
+}
+
+// --------------------------------------------------------------------------
+// Server
+// --------------------------------------------------------------------------
+
+class ServerTest : public ::testing::Test {
+ protected:
+  ServerTest() : graph_(test_city(31, 30, 30)) {}
+
+  std::vector<Request> load(double rate_hz, double duration_s = 600.0) {
+    Rng rng(37);
+    return diurnal_requests(rng, graph_, duration_s, rate_hz, 0.0, 12 * 3600.0);
+  }
+
+  RoadGraph graph_;
+  SpeedProfiles profiles_;
+};
+
+TEST_F(ServerTest, ServesAllRequests) {
+  NavServer server(graph_, profiles_, 2e-6, 2);
+  const auto reqs = load(0.5);
+  const auto served = server.serve(
+      reqs, [](std::size_t, double) { return ServerKnobs{{true, 1.0}, 1}; });
+  EXPECT_EQ(served.size(), reqs.size());
+  for (const auto& s : served) {
+    EXPECT_GE(s.latency_s, s.service_s);
+    EXPECT_GT(s.expanded, 0u);
+    EXPECT_DOUBLE_EQ(s.quality, 1.0);  // admissible search
+  }
+}
+
+TEST_F(ServerTest, OverloadBuildsQueueingDelay) {
+  NavServer slow(graph_, profiles_, 5e-5, 1);  // expensive expansions
+  const auto reqs = load(2.0);
+  const auto served = slow.serve(
+      reqs, [](std::size_t, double) { return ServerKnobs{{false, 1.0}, 1}; });
+  double max_wait = 0.0;
+  for (const auto& s : served) max_wait = std::max(max_wait, s.queue_wait_s);
+  EXPECT_GT(max_wait, 0.0);
+}
+
+TEST_F(ServerTest, InflatedEpsilonCutsLatencyAtQualityCost) {
+  NavServer server(graph_, profiles_, 5e-5, 1);
+  const auto reqs = load(1.0);
+
+  auto run = [&](double eps) {
+    return server.serve(reqs, [eps](std::size_t, double) {
+      return ServerKnobs{{true, eps}, 1};
+    });
+  };
+  const auto exact = run(1.0);
+  const auto fast = run(2.5);
+
+  auto p95 = [](const std::vector<ServedRequest>& xs) {
+    std::vector<double> lat;
+    for (const auto& s : xs) lat.push_back(s.latency_s);
+    return percentile(lat, 95);
+  };
+  auto mean_quality = [](const std::vector<ServedRequest>& xs) {
+    double q = 0.0;
+    for (const auto& s : xs) q += s.quality;
+    return q / static_cast<double>(xs.size());
+  };
+  EXPECT_LT(p95(fast), p95(exact));
+  EXPECT_LT(mean_quality(fast), 1.0);
+  EXPECT_GT(mean_quality(fast), 0.55);  // bounded suboptimality
+}
+
+TEST_F(ServerTest, KAlternativesCostMoreCompute) {
+  NavServer server(graph_, profiles_, 2e-6, 2);
+  const auto reqs = load(0.3);
+  const auto one = server.serve(
+      reqs, [](std::size_t, double) { return ServerKnobs{{true, 1.0}, 1}; });
+  const auto three = server.serve(
+      reqs, [](std::size_t, double) { return ServerKnobs{{true, 1.0}, 3}; });
+  double e1 = 0, e3 = 0;
+  for (const auto& s : one) e1 += static_cast<double>(s.expanded);
+  for (const auto& s : three) e3 += static_cast<double>(s.expanded);
+  EXPECT_GT(e3, 2.0 * e1);
+}
+
+TEST_F(ServerTest, AdaptivePolicyShedsLoadUnderBacklog) {
+  NavServer server(graph_, profiles_, 2e-3, 1);  // overloaded server
+  const auto reqs = load(2.0);
+  // Adaptive: degrade precision when a backlog builds.
+  const auto adaptive = server.serve(reqs, [](std::size_t backlog, double) {
+    return backlog > 1 ? ServerKnobs{{true, 3.0}, 1}
+                       : ServerKnobs{{true, 1.0}, 1};
+  });
+  const auto fixed = server.serve(reqs, [](std::size_t, double) {
+    return ServerKnobs{{true, 1.0}, 1};
+  });
+  auto p95 = [](const std::vector<ServedRequest>& xs) {
+    std::vector<double> lat;
+    for (const auto& s : xs) lat.push_back(s.latency_s);
+    return percentile(lat, 95);
+  };
+  EXPECT_LT(p95(adaptive), p95(fixed));
+}
+
+TEST_F(ServerTest, RejectsUnsortedRequests) {
+  NavServer server(graph_, profiles_);
+  std::vector<Request> bad{{10.0, 0, 1}, {5.0, 1, 2}};
+  EXPECT_THROW(server.serve(bad, [](std::size_t, double) {
+    return ServerKnobs{};
+  }),
+               Error);
+}
+
+}  // namespace
+}  // namespace antarex::nav

@@ -1,0 +1,331 @@
+// Unit tests for the support layer: RNG determinism and distribution shape,
+// streaming statistics, string utilities, tables, and the simulation clock.
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "support/rng.hpp"
+#include "support/sim_clock.hpp"
+#include "support/stats.hpp"
+#include "support/strings.hpp"
+#include "support/table.hpp"
+
+namespace antarex {
+namespace {
+
+// --------------------------------------------------------------------------
+// Rng
+// --------------------------------------------------------------------------
+
+TEST(Rng, DeterministicForSameSeed) {
+  Rng a(42), b(42);
+  for (int i = 0; i < 100; ++i) EXPECT_EQ(a.next_u64(), b.next_u64());
+}
+
+TEST(Rng, DifferentSeedsDiverge) {
+  Rng a(1), b(2);
+  int equal = 0;
+  for (int i = 0; i < 64; ++i)
+    if (a.next_u64() == b.next_u64()) ++equal;
+  EXPECT_LT(equal, 2);
+}
+
+TEST(Rng, UniformInUnitInterval) {
+  Rng rng(7);
+  for (int i = 0; i < 10000; ++i) {
+    const double u = rng.uniform();
+    EXPECT_GE(u, 0.0);
+    EXPECT_LT(u, 1.0);
+  }
+}
+
+TEST(Rng, UniformRangeRespectsBounds) {
+  Rng rng(7);
+  for (int i = 0; i < 1000; ++i) {
+    const double u = rng.uniform(-3.0, 5.0);
+    EXPECT_GE(u, -3.0);
+    EXPECT_LT(u, 5.0);
+  }
+}
+
+TEST(Rng, UniformIntCoversFullInclusiveRange) {
+  Rng rng(3);
+  bool saw_lo = false, saw_hi = false;
+  for (int i = 0; i < 2000; ++i) {
+    const i64 v = rng.uniform_int(0, 9);
+    ASSERT_GE(v, 0);
+    ASSERT_LE(v, 9);
+    saw_lo = saw_lo || v == 0;
+    saw_hi = saw_hi || v == 9;
+  }
+  EXPECT_TRUE(saw_lo);
+  EXPECT_TRUE(saw_hi);
+}
+
+TEST(Rng, UniformIntSingletonRange) {
+  Rng rng(3);
+  for (int i = 0; i < 10; ++i) EXPECT_EQ(rng.uniform_int(5, 5), 5);
+}
+
+TEST(Rng, NormalMomentsApproximatelyStandard) {
+  Rng rng(11);
+  RunningStats st;
+  for (int i = 0; i < 50000; ++i) st.add(rng.normal());
+  EXPECT_NEAR(st.mean(), 0.0, 0.03);
+  EXPECT_NEAR(st.stddev(), 1.0, 0.03);
+}
+
+TEST(Rng, ExponentialMeanIsInverseRate) {
+  Rng rng(13);
+  RunningStats st;
+  for (int i = 0; i < 50000; ++i) st.add(rng.exponential(4.0));
+  EXPECT_NEAR(st.mean(), 0.25, 0.01);
+}
+
+TEST(Rng, ParetoRespectsScaleAndIsHeavyTailed) {
+  Rng rng(17);
+  RunningStats st;
+  for (int i = 0; i < 20000; ++i) st.add(rng.pareto(1.0, 2.0));
+  EXPECT_GE(st.min(), 1.0);
+  // E[X] = alpha*xm/(alpha-1) = 2 for alpha=2, xm=1.
+  EXPECT_NEAR(st.mean(), 2.0, 0.25);
+  EXPECT_GT(st.max(), 5.0);  // tail reaches far out
+}
+
+TEST(Rng, LognormalIsPositive) {
+  Rng rng(19);
+  for (int i = 0; i < 1000; ++i) EXPECT_GT(rng.lognormal(0.0, 0.5), 0.0);
+}
+
+TEST(Rng, BernoulliFrequencyTracksP) {
+  Rng rng(23);
+  int hits = 0;
+  for (int i = 0; i < 20000; ++i) hits += rng.bernoulli(0.3) ? 1 : 0;
+  EXPECT_NEAR(hits / 20000.0, 0.3, 0.02);
+}
+
+TEST(Rng, ShuffleIsPermutation) {
+  Rng rng(29);
+  std::vector<int> v{1, 2, 3, 4, 5, 6, 7, 8};
+  auto orig = v;
+  rng.shuffle(v);
+  std::sort(v.begin(), v.end());
+  EXPECT_EQ(v, orig);
+}
+
+TEST(Rng, SplitProducesIndependentStream) {
+  Rng a(31);
+  Rng child = a.split();
+  EXPECT_NE(a.next_u64(), child.next_u64());
+}
+
+TEST(Rng, ThrowsOnInvalidArguments) {
+  Rng rng(1);
+  EXPECT_THROW(rng.uniform(2.0, 1.0), Error);
+  EXPECT_THROW(rng.uniform_int(2, 1), Error);
+  EXPECT_THROW(rng.exponential(0.0), Error);
+  EXPECT_THROW(rng.pareto(0.0, 1.0), Error);
+  EXPECT_THROW(rng.index(0), Error);
+}
+
+// --------------------------------------------------------------------------
+// RunningStats
+// --------------------------------------------------------------------------
+
+TEST(RunningStats, EmptyIsZero) {
+  RunningStats st;
+  EXPECT_EQ(st.count(), 0u);
+  EXPECT_EQ(st.mean(), 0.0);
+  EXPECT_EQ(st.variance(), 0.0);
+}
+
+TEST(RunningStats, KnownSample) {
+  RunningStats st;
+  for (double x : {2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0}) st.add(x);
+  EXPECT_DOUBLE_EQ(st.mean(), 5.0);
+  EXPECT_NEAR(st.variance(), 32.0 / 7.0, 1e-12);  // sample variance
+  EXPECT_EQ(st.min(), 2.0);
+  EXPECT_EQ(st.max(), 9.0);
+  EXPECT_DOUBLE_EQ(st.sum(), 40.0);
+}
+
+TEST(RunningStats, MergeMatchesConcatenation) {
+  Rng rng(5);
+  RunningStats all, a, b;
+  for (int i = 0; i < 500; ++i) {
+    const double x = rng.normal(3.0, 2.0);
+    all.add(x);
+    (i % 2 ? a : b).add(x);
+  }
+  a.merge(b);
+  EXPECT_EQ(a.count(), all.count());
+  EXPECT_NEAR(a.mean(), all.mean(), 1e-9);
+  EXPECT_NEAR(a.variance(), all.variance(), 1e-9);
+  EXPECT_EQ(a.min(), all.min());
+  EXPECT_EQ(a.max(), all.max());
+}
+
+TEST(RunningStats, MergeWithEmptyIsIdentity) {
+  RunningStats a, empty;
+  a.add(1.0);
+  a.add(2.0);
+  const double mean_before = a.mean();
+  a.merge(empty);
+  EXPECT_DOUBLE_EQ(a.mean(), mean_before);
+  empty.merge(a);
+  EXPECT_DOUBLE_EQ(empty.mean(), mean_before);
+}
+
+// --------------------------------------------------------------------------
+// Ewma / SlidingWindow / percentile
+// --------------------------------------------------------------------------
+
+TEST(Ewma, SeedsWithFirstValue) {
+  Ewma e(0.5);
+  EXPECT_TRUE(e.empty());
+  e.add(10.0);
+  EXPECT_DOUBLE_EQ(e.value(), 10.0);
+}
+
+TEST(Ewma, ConvergesToConstantInput) {
+  Ewma e(0.3);
+  for (int i = 0; i < 100; ++i) e.add(42.0);
+  EXPECT_NEAR(e.value(), 42.0, 1e-9);
+}
+
+TEST(Ewma, TracksStepChange) {
+  Ewma e(0.5);
+  e.add(0.0);
+  for (int i = 0; i < 20; ++i) e.add(100.0);
+  EXPECT_GT(e.value(), 99.0);
+}
+
+TEST(Ewma, RejectsInvalidAlpha) {
+  EXPECT_THROW(Ewma(0.0), Error);
+  EXPECT_THROW(Ewma(1.5), Error);
+}
+
+TEST(SlidingWindow, EvictsOldest) {
+  SlidingWindow w(3);
+  w.add(1.0);
+  w.add(2.0);
+  w.add(3.0);
+  EXPECT_TRUE(w.full());
+  w.add(10.0);  // evicts 1.0
+  EXPECT_DOUBLE_EQ(w.mean(), 5.0);
+}
+
+TEST(SlidingWindow, PercentileOnWindow) {
+  SlidingWindow w(100);
+  for (int i = 1; i <= 100; ++i) w.add(static_cast<double>(i));
+  EXPECT_DOUBLE_EQ(w.percentile(50), 50.0);
+  EXPECT_DOUBLE_EQ(w.percentile(95), 95.0);
+  EXPECT_DOUBLE_EQ(w.percentile(100), 100.0);
+}
+
+TEST(Percentile, NearestRankSemantics) {
+  std::vector<double> xs{15, 20, 35, 40, 50};
+  EXPECT_DOUBLE_EQ(percentile(xs, 30), 20.0);
+  EXPECT_DOUBLE_EQ(percentile(xs, 40), 20.0);
+  EXPECT_DOUBLE_EQ(percentile(xs, 50), 35.0);
+  EXPECT_DOUBLE_EQ(percentile(xs, 0), 15.0);
+  EXPECT_DOUBLE_EQ(percentile(xs, 100), 50.0);
+}
+
+TEST(Percentile, ThrowsOnEmptyOrBadP) {
+  EXPECT_THROW(percentile({}, 50), Error);
+  EXPECT_THROW(percentile({1.0}, 101), Error);
+}
+
+TEST(GeometricMean, KnownValue) {
+  EXPECT_NEAR(geometric_mean({1.0, 4.0, 16.0}), 4.0, 1e-12);
+  EXPECT_THROW(geometric_mean({1.0, -1.0}), Error);
+}
+
+TEST(Histogram, BinningAndClamping) {
+  Histogram h(0.0, 10.0, 10);
+  h.add(0.5);
+  h.add(9.99);
+  h.add(-5.0);   // clamps to bin 0
+  h.add(100.0);  // clamps to last bin
+  EXPECT_EQ(h.bin_count(0), 2u);
+  EXPECT_EQ(h.bin_count(9), 2u);
+  EXPECT_EQ(h.total(), 4u);
+  EXPECT_DOUBLE_EQ(h.bin_low(0), 0.0);
+  EXPECT_DOUBLE_EQ(h.bin_high(9), 10.0);
+}
+
+// --------------------------------------------------------------------------
+// strings
+// --------------------------------------------------------------------------
+
+TEST(Strings, SplitKeepsEmptyFields) {
+  const auto parts = split("a,,b,", ',');
+  ASSERT_EQ(parts.size(), 4u);
+  EXPECT_EQ(parts[0], "a");
+  EXPECT_EQ(parts[1], "");
+  EXPECT_EQ(parts[2], "b");
+  EXPECT_EQ(parts[3], "");
+}
+
+TEST(Strings, TrimBothEnds) {
+  EXPECT_EQ(trim("  hi\t\n"), "hi");
+  EXPECT_EQ(trim(""), "");
+  EXPECT_EQ(trim("   "), "");
+}
+
+TEST(Strings, JoinRoundTripsSplit) {
+  const std::vector<std::string> parts{"x", "y", "z"};
+  EXPECT_EQ(join(parts, ","), "x,y,z");
+  EXPECT_EQ(split(join(parts, ","), ','), parts);
+}
+
+TEST(Strings, StartsEndsWith) {
+  EXPECT_TRUE(starts_with("antarex", "anta"));
+  EXPECT_FALSE(starts_with("a", "ab"));
+  EXPECT_TRUE(ends_with("kernel.c", ".c"));
+  EXPECT_FALSE(ends_with(".c", "kernel.c"));
+}
+
+TEST(Strings, ReplaceAll) {
+  EXPECT_EQ(replace_all("aaa", "a", "bb"), "bbbbbb");
+  EXPECT_EQ(replace_all("abc", "x", "y"), "abc");
+  EXPECT_EQ(replace_all("[[v]] = [[v]]", "[[v]]", "size"), "size = size");
+}
+
+TEST(Strings, Format) {
+  EXPECT_EQ(format("%d-%s", 7, "x"), "7-x");
+  EXPECT_EQ(fmt_double(3.14159, 2), "3.14");
+}
+
+// --------------------------------------------------------------------------
+// Table / SimClock
+// --------------------------------------------------------------------------
+
+TEST(Table, RendersHeaderAndRows) {
+  Table t({"metric", "paper", "ours"});
+  t.add_row({"savings", "18-50%", "37.2%"});
+  const std::string s = t.render();
+  EXPECT_NE(s.find("metric"), std::string::npos);
+  EXPECT_NE(s.find("37.2%"), std::string::npos);
+  EXPECT_EQ(t.rows(), 1u);
+}
+
+TEST(Table, RejectsMismatchedRow) {
+  Table t({"a", "b"});
+  EXPECT_THROW(t.add_row({"only-one"}), Error);
+}
+
+TEST(SimClock, AdvancesMonotonically) {
+  SimClock c;
+  EXPECT_DOUBLE_EQ(c.now(), 0.0);
+  c.advance(1.5);
+  c.advance(0.5);
+  EXPECT_DOUBLE_EQ(c.now(), 2.0);
+  EXPECT_THROW(c.advance(-1.0), Error);
+  c.reset();
+  EXPECT_DOUBLE_EQ(c.now(), 0.0);
+}
+
+}  // namespace
+}  // namespace antarex

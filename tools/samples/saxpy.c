@@ -1,0 +1,15 @@
+// Sample mini-C application for the antarex-weave CLI.
+int saxpy(int n, int a) {
+  int acc = 0;
+  for (int i = 0; i < n; i++) {
+    acc = acc + a * i;
+  }
+  return acc;
+}
+int main_entry(int n, int a) {
+  int total = 0;
+  for (int r = 0; r < 4; r++) {
+    total = total + saxpy(n, a);
+  }
+  return total;
+}
