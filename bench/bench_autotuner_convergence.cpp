@@ -125,6 +125,10 @@ int main() {
               "post-shift best within %.1f%% of the new oracle\n",
               reaction, 100.0 * (regret_after - 1.0));
 
+  bench::metric("iterations", 150.0 + 300.0);  // phase-change experiment length
+  bench::metric("grey_box_samples", grey_samples);
+  bench::metric("black_box_samples", black_samples);
+  bench::metric("phase_change_reaction_iters", reaction);
   bench::verdict(
       "grey-box annotations shrink the search (faster convergence than "
       "black-box); monitors trigger adaptation on workload change",

@@ -8,6 +8,7 @@
 // energy-optimal OP (with steady-state thermal feedback), then the min/max
 // savings across the mix.
 #include <algorithm>
+#include <iterator>
 
 #include "bench_common.hpp"
 #include "power/model.hpp"
@@ -42,6 +43,7 @@ int main() {
   Table t({"application", "default E (J)", "optimal E (J)", "optimal f (GHz)",
            "savings"});
   double min_savings = 1.0, max_savings = 0.0;
+  double total_default_j = 0.0, total_opt_j = 0.0;
   for (const App& app : apps) {
     WorkloadModel w;
     w.cpu_gcycles = 20.0;
@@ -57,6 +59,8 @@ int main() {
     const double savings = 1.0 - e_opt / e_default;
     min_savings = std::min(min_savings, savings);
     max_savings = std::max(max_savings, savings);
+    total_default_j += e_default;
+    total_opt_j += e_opt;
 
     t.add_row({app.name, format("%.1f", e_default), format("%.1f", e_opt),
                format("%.2f", spec.dvfs.at(opt).freq_ghz),
@@ -64,6 +68,11 @@ int main() {
   }
   t.print();
 
+  bench::metric("iterations", static_cast<double>(std::size(apps)));
+  bench::metric("simulated_joules", total_opt_j);
+  bench::metric("default_joules", total_default_j);
+  bench::metric("min_savings", min_savings);
+  bench::metric("max_savings", max_savings);
   bench::verdict(
       "optimal OP saves 18% to 50% of node energy vs the default governor",
       format("savings range %.1f%% .. %.1f%% across the app mix",

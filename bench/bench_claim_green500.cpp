@@ -4,6 +4,8 @@
 //
 // We build both node types from the device models and report achieved
 // MFLOPS/W running a dense-compute (HPL-like) workload at full tilt.
+#include <iterator>
+
 #include "bench_common.hpp"
 #include "power/model.hpp"
 #include "rtrm/node.hpp"
@@ -70,6 +72,10 @@ int main() {
   t.print();
 
   const double ratio = het_gpu_eff / homo_eff;
+  bench::metric("iterations", static_cast<double>(std::size(defs)));
+  bench::metric("homogeneous_mflops_per_w", homo_eff);
+  bench::metric("heterogeneous_mflops_per_w", het_gpu_eff);
+  bench::metric("efficiency_ratio", ratio);
   bench::verdict(
       "7032 vs 2304 MFLOPS/W, heterogeneous ~3.05x more efficient",
       format("%.0f vs %.0f MFLOPS/W, ratio %.2fx", het_gpu_eff, homo_eff, ratio),

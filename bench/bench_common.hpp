@@ -3,9 +3,18 @@
 // Every bench prints a REPRODUCTION table with the paper's number next to the
 // measured one plus a qualitative verdict, so `for b in build/bench/*; do $b;
 // done` produces the full EXPERIMENTS.md evidence.
+//
+// Each bench additionally writes BENCH_<name>.json next to the working
+// directory: header() starts the report, metric() attaches numbers
+// (iterations, simulated joules, ...), verdict() records the claim outcome,
+// and the file is flushed at process exit — so the perf trajectory is
+// machine-trackable across PRs without scraping stdout.
 #pragma once
 
+#include <chrono>
 #include <cstdio>
+#include <cstdlib>
+#include <map>
 #include <string>
 
 #include "support/strings.hpp"
@@ -13,18 +22,131 @@
 
 namespace antarex::bench {
 
+namespace detail {
+
+struct Report {
+  std::string name;
+  std::string what;
+  std::string paper;
+  std::string measured;
+  bool has_verdict = false;
+  bool shape_holds = false;
+  std::map<std::string, double> metrics;
+  std::chrono::steady_clock::time_point start{};
+  bool active = false;
+};
+
+inline Report& report() {
+  static Report r;
+  return r;
+}
+
+inline std::string json_escape(const std::string& s) {
+  std::string out;
+  out.reserve(s.size());
+  for (char c : s) {
+    if (c == '"' || c == '\\') out += '\\';
+    if (c == '\n') {
+      out += "\\n";
+      continue;
+    }
+    out += c;
+  }
+  return out;
+}
+
+/// `BENCH_CLAIM-DVFS.json` etc. — keep the id readable, drop anything a
+/// filesystem might object to.
+inline std::string report_filename(const std::string& id) {
+  std::string name;
+  for (char c : id) {
+    const bool ok = (c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z') ||
+                    (c >= '0' && c <= '9') || c == '-' || c == '_' || c == '.';
+    name += ok ? c : '_';
+  }
+  return "BENCH_" + name + ".json";
+}
+
+inline void write_report() {
+  Report& r = report();
+  if (!r.active) return;
+  const double wall =
+      std::chrono::duration<double>(std::chrono::steady_clock::now() - r.start)
+          .count();
+  const std::string path = report_filename(r.name);
+  std::FILE* f = std::fopen(path.c_str(), "wb");
+  if (!f) return;  // benches never fail on an unwritable cwd
+  std::string body;
+  body += "{\n";
+  body += format("  \"schema\": \"antarex.bench/v1\",\n");
+  body += format("  \"name\": \"%s\",\n", json_escape(r.name).c_str());
+  body += format("  \"description\": \"%s\",\n", json_escape(r.what).c_str());
+  body += format("  \"wall_seconds\": %.9g,\n", wall);
+  body += format("  \"iterations\": %.9g,\n",
+                 r.metrics.count("iterations") ? r.metrics.at("iterations")
+                                               : 0.0);
+  body += format("  \"simulated_joules\": %.9g,\n",
+                 r.metrics.count("simulated_joules")
+                     ? r.metrics.at("simulated_joules")
+                     : 0.0);
+  body += "  \"metrics\": {";
+  bool first = true;
+  for (const auto& [key, value] : r.metrics) {
+    if (!first) body += ",";
+    first = false;
+    body += format("\n    \"%s\": %.9g", json_escape(key).c_str(), value);
+  }
+  body += first ? "},\n" : "\n  },\n";
+  body += "  \"verdict\": ";
+  if (r.has_verdict) {
+    body += format(
+        "{\n    \"paper\": \"%s\",\n    \"measured\": \"%s\",\n"
+        "    \"shape_reproduced\": %s\n  }\n",
+        json_escape(r.paper).c_str(), json_escape(r.measured).c_str(),
+        r.shape_holds ? "true" : "false");
+  } else {
+    body += "null\n";
+  }
+  body += "}\n";
+  std::fwrite(body.data(), 1, body.size(), f);
+  std::fclose(f);
+  std::printf("wrote %s\n", path.c_str());
+}
+
+}  // namespace detail
+
 inline void header(const std::string& id, const std::string& what) {
   std::printf("\n================================================================\n");
   std::printf("[%s] %s\n", id.c_str(), what.c_str());
   std::printf("================================================================\n");
+  detail::Report& r = detail::report();
+  if (!r.active) std::atexit(detail::write_report);
+  r = {};
+  r.name = id;
+  r.what = what;
+  r.start = std::chrono::steady_clock::now();
+  r.active = true;
 }
 
-/// Prints one claim line: the paper's statement vs our measurement.
+/// Attach a number to the bench's JSON report. Well-known keys "iterations"
+/// and "simulated_joules" surface as top-level fields; everything else lands
+/// under "metrics".
+inline void metric(const std::string& key, double value) {
+  detail::report().metrics[key] = value;
+}
+
+/// Prints one claim line: the paper's statement vs our measurement. Also
+/// recorded into BENCH_<name>.json.
 inline void verdict(const std::string& paper, const std::string& measured,
                     bool shape_holds) {
   std::printf("paper:    %s\n", paper.c_str());
   std::printf("measured: %s\n", measured.c_str());
   std::printf("verdict:  %s\n", shape_holds ? "SHAPE REPRODUCED" : "MISMATCH");
+  detail::Report& r = detail::report();
+  r.paper = paper;
+  r.measured = measured;
+  r.shape_holds = shape_holds;
+  r.has_verdict = true;
 }
 
 }  // namespace antarex::bench

@@ -7,6 +7,7 @@
 // frugal+slow, energy-aware: near-performance time at near-powersave energy
 // for memory-bound mixes).
 #include <algorithm>
+#include <iterator>
 
 #include "bench_common.hpp"
 #include "rtrm/cluster.hpp"
@@ -81,6 +82,10 @@ int main() {
   }
   t.print();
 
+  bench::metric("iterations", static_cast<double>(std::size(policies)));
+  bench::metric("simulated_joules", energy_aware.energy_kj * 1e3);
+  bench::metric("ondemand_joules", ondemand.energy_kj * 1e3);
+  bench::metric("energy_aware_makespan_s", energy_aware.makespan);
   const double saving = 1.0 - energy_aware.energy_kj / ondemand.energy_kj;
   bench::verdict(
       "the ANTAREX energy-aware policy saves node energy vs the default "

@@ -78,7 +78,12 @@ int main() {
              format("%.2fx", stat.makespan / tuned.makespan)});
   t.print();
 
+  bench::metric("iterations", static_cast<double>(costs.size()));
+  bench::metric("simulated_joules", energy_kj(tuned.makespan) * 1e3);
+  bench::metric("static_joules", energy_kj(stat.makespan) * 1e3);
+  bench::metric("best_batch", best_batch);
   const double speedup = stat.makespan / tuned.makespan;
+  bench::metric("speedup_vs_static", speedup);
   bench::verdict(
       "dynamic load balancing is critical for docking's unpredictable "
       "imbalance",

@@ -73,6 +73,9 @@ int main() {
   row("ANTAREX adaptive", adaptive);
   t.print();
 
+  bench::metric("iterations", static_cast<double>(requests.size()));
+  bench::metric("adaptive_p95_latency_s", adaptive.p95);
+  bench::metric("adaptive_quality", adaptive.quality);
   bench::verdict(
       "the server must trade quality for compute under variable load; "
       "adaptivity gets both",

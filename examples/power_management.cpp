@@ -6,6 +6,11 @@
 //  - the energy-aware governor picks operating points per workload,
 //  - the cooling model translates IT power to facility power across seasons.
 //
+// Telemetry is enabled for the whole run: the example writes
+// power_management_trace.json (open in chrome://tracing or
+// https://ui.perfetto.dev) and power_management_metrics.json, and prints the
+// registry summary table at the end.
+//
 // Build & run:  ./build/examples/power_management
 #include <algorithm>
 #include <cstdio>
@@ -13,6 +18,7 @@
 #include "rtrm/cluster.hpp"
 #include "support/strings.hpp"
 #include "support/table.hpp"
+#include "telemetry/telemetry.hpp"
 
 namespace {
 
@@ -80,6 +86,7 @@ RunStats run(ClusterConfig cfg) {
 
 int main() {
   std::puts("== ANTAREX runtime resource & power management ==\n");
+  telemetry::set_enabled(true);
 
   Table t({"scenario", "makespan (s)", "peak IT power (W)", "IT energy (kJ)",
            "facility energy (kJ)", "max temp (C)"});
@@ -131,6 +138,20 @@ int main() {
               "IT work\n",
               ea.facility_kj, hot.facility_kj,
               100.0 * (hot.facility_kj / ea.facility_kj - 1.0));
+
+  std::puts("\n-- telemetry registry after all four scenarios --");
+  telemetry::summary_table().print();
+
+  telemetry::write_text_file("power_management_trace.json",
+                             telemetry::chrome_trace_json());
+  telemetry::write_text_file("power_management_metrics.json",
+                             telemetry::metrics_json());
+  const auto& trace = telemetry::Registry::global().trace();
+  std::printf("\nwrote power_management_trace.json (%zu events, %llu dropped)"
+              " — load it in chrome://tracing or ui.perfetto.dev\n"
+              "wrote power_management_metrics.json\n",
+              trace.size(),
+              static_cast<unsigned long long>(trace.dropped()));
 
   std::puts("\npower_management done.");
   return 0;

@@ -3,6 +3,8 @@
 #include <algorithm>
 #include <queue>
 
+#include "telemetry/telemetry.hpp"
+
 namespace antarex::nav {
 
 NavServer::NavServer(const RoadGraph& graph, const SpeedProfiles& profiles,
@@ -33,7 +35,14 @@ std::vector<ServedRequest> NavServer::serve(const std::vector<Request>& requests
   // Queue length accounting: arrivals not yet started.
   std::vector<double> start_times;
 
+  // Per-request latency distribution (seconds). 0..2 s covers the SLA band
+  // the navigation use case tunes around; beyond-range requests clamp into
+  // the top bucket, which is exactly the "SLA blown" signal.
+  auto& latency_hist =
+      telemetry::Registry::global().histogram("nav.latency_s", 0.0, 2.0, 40);
+
   for (const Request& req : requests) {
+    TELEMETRY_SPAN("nav.request");
     const double worker_free = free_at.top();
     free_at.pop();
     const double start = std::max(req.arrival_s, worker_free);
@@ -88,6 +97,11 @@ std::vector<ServedRequest> NavServer::serve(const std::vector<Request>& requests
     const double finish = start + served.service_s;
     free_at.push(finish);
     start_times.push_back(start);
+
+    TELEMETRY_COUNT("nav.requests", 1);
+    TELEMETRY_COUNT("nav.nodes_expanded", expanded);
+    TELEMETRY_GAUGE("nav.queue_depth", static_cast<double>(backlog));
+    latency_hist.add(served.latency_s);
 
     if (observer) observer(served);
     out.push_back(std::move(served));

@@ -2,6 +2,8 @@
 
 #include <algorithm>
 
+#include "telemetry/telemetry.hpp"
+
 namespace antarex::rtrm {
 
 Cluster::Cluster(ClusterConfig config)
@@ -20,6 +22,7 @@ Node& Cluster::add_node(Node node) {
 }
 
 void Cluster::control_step() {
+  TELEMETRY_SPAN("rtrm.control_step");
   for (auto& node : nodes_) {
     const double base_share =
         node.device_count() > 0
@@ -54,6 +57,7 @@ void Cluster::run_for(double duration_s, double dt_s) {
 
     clock_.advance(step);
 
+    TELEMETRY_GAUGE("rtrm.it_power_w", it_power);
     telemetry_.time_s = clock_.now();
     telemetry_.it_energy_j += it_power * step;
     telemetry_.facility_energy_j +=
@@ -63,6 +67,7 @@ void Cluster::run_for(double duration_s, double dt_s) {
       for (const auto& d : node.devices())
         telemetry_.max_temperature_c =
             std::max(telemetry_.max_temperature_c, d.temperature_c());
+    TELEMETRY_GAUGE("rtrm.max_temp_c", telemetry_.max_temperature_c);
     telemetry_.jobs_completed = dispatcher_.completed();
   }
 }

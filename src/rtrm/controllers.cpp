@@ -2,6 +2,8 @@
 
 #include <algorithm>
 
+#include "telemetry/telemetry.hpp"
+
 namespace antarex::rtrm {
 
 NodePowerController::NodePowerController(double budget_w) : budget_w_(budget_w) {
@@ -140,6 +142,7 @@ bool ThermalGuard::step(Device& device) {
   if (t > t_crit_ && ceil > 0) {
     --ceil;
     ++throttles_;
+    TELEMETRY_COUNT("rtrm.thermal_throttles", 1);
     moved = true;
   } else if (t < t_crit_ - hysteresis_ && ceil + 1 < device.num_ops()) {
     ++ceil;

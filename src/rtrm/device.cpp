@@ -1,5 +1,7 @@
 #include "rtrm/device.hpp"
 
+#include "telemetry/telemetry.hpp"
+
 namespace antarex::rtrm {
 
 Device::Device(std::string instance_name, power::DeviceSpec spec,
@@ -13,6 +15,7 @@ Device::Device(std::string instance_name, power::DeviceSpec spec,
 
 void Device::set_op_index(std::size_t i) {
   ANTAREX_REQUIRE(i < spec().dvfs.size(), "Device: P-state index out of range");
+  if (i != op_index_) TELEMETRY_COUNT("rtrm.dvfs_transitions", 1);
   op_index_ = i;
 }
 

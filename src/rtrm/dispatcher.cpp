@@ -3,6 +3,7 @@
 #include <algorithm>
 
 #include "power/model.hpp"
+#include "telemetry/telemetry.hpp"
 
 namespace antarex::rtrm {
 
@@ -22,6 +23,7 @@ void Dispatcher::submit(Job job) {
   ANTAREX_REQUIRE(!job.profiles.empty(), "Dispatcher: job with no device profiles");
   job.state = JobState::Queued;
   queue_.push_back(std::move(job));
+  TELEMETRY_COUNT("rtrm.jobs.submitted", 1);
 }
 
 Device* Dispatcher::choose_device(std::vector<Node>& nodes, const Job& job) const {
@@ -54,6 +56,7 @@ void Dispatcher::start(Job job, Device& device, double now_s) {
   job.device_name = device.name();
   device.assign(job.profile(device.spec().type), job.units, job.id);
   running_.push_back(std::move(job));
+  TELEMETRY_COUNT("rtrm.jobs.dispatched", 1);
 }
 
 double Dispatcher::predicted_remaining_s(const Device& d) {
@@ -62,6 +65,7 @@ double Dispatcher::predicted_remaining_s(const Device& d) {
 }
 
 void Dispatcher::place(std::vector<Node>& nodes, double now_s) {
+  TELEMETRY_SPAN("rtrm.dispatch");
   while (!queue_.empty()) {
     Job& head = queue_.front();
     Device* d = choose_device(nodes, head);
@@ -99,11 +103,13 @@ void Dispatcher::place(std::vector<Node>& nodes, double now_s) {
       start(std::move(*it), *fit, now_s);
       queue_.erase(it);
       ++backfilled_;
+      TELEMETRY_COUNT("rtrm.jobs.backfilled", 1);
       placed_any = true;
       break;  // re-evaluate from the head after each placement
     }
     if (!placed_any) break;
   }
+  TELEMETRY_GAUGE("rtrm.queue_depth", static_cast<double>(queue_.size()));
 }
 
 void Dispatcher::on_finished(u64 job_id, double now_s) {
@@ -113,6 +119,7 @@ void Dispatcher::on_finished(u64 job_id, double now_s) {
                   "Dispatcher: completion for a job that is not running");
   it->state = JobState::Done;
   it->finish_time_s = now_s;
+  TELEMETRY_COUNT("rtrm.jobs.completed", 1);
   done_.push_back(std::move(*it));
   running_.erase(it);
 }

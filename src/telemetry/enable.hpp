@@ -1,0 +1,50 @@
+// Global on/off switch for the telemetry subsystem.
+//
+// Two layers, per the cost contract in DESIGN.md ("Observability"):
+//  - compile time: build with -DANTAREX_TELEMETRY_COMPILED=0 and every
+//    TELEMETRY_* macro expands to nothing;
+//  - runtime: telemetry::set_enabled(false) (the default) reduces every
+//    instrumentation site to a single relaxed atomic load + branch.
+//
+// Monitors (telemetry::Series) are deliberately NOT gated: they are the data
+// plane of the autotuner's collect-analyse-decide-act loop, not observability.
+#pragma once
+
+#include <atomic>
+
+#ifndef ANTAREX_TELEMETRY_COMPILED
+#define ANTAREX_TELEMETRY_COMPILED 1
+#endif
+
+namespace antarex::telemetry {
+
+namespace detail {
+inline std::atomic<bool> g_enabled{false};
+}  // namespace detail
+
+/// Is observability collection active right now? One relaxed load.
+inline bool enabled() {
+#if ANTAREX_TELEMETRY_COMPILED
+  return detail::g_enabled.load(std::memory_order_relaxed);
+#else
+  return false;
+#endif
+}
+
+inline void set_enabled(bool on) {
+  detail::g_enabled.store(on, std::memory_order_relaxed);
+}
+
+/// RAII enable/disable for tests and scoped measurement windows.
+class ScopedEnable {
+ public:
+  explicit ScopedEnable(bool on = true) : prev_(enabled()) { set_enabled(on); }
+  ~ScopedEnable() { set_enabled(prev_); }
+  ScopedEnable(const ScopedEnable&) = delete;
+  ScopedEnable& operator=(const ScopedEnable&) = delete;
+
+ private:
+  bool prev_;
+};
+
+}  // namespace antarex::telemetry

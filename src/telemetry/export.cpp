@@ -1,0 +1,167 @@
+#include "telemetry/export.hpp"
+
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include "support/strings.hpp"
+
+namespace antarex::telemetry {
+
+namespace {
+
+std::string json_escape(const std::string& s) {
+  std::string out;
+  out.reserve(s.size() + 2);
+  for (const char c : s) {
+    switch (c) {
+      case '"': out += "\\\""; break;
+      case '\\': out += "\\\\"; break;
+      case '\n': out += "\\n"; break;
+      case '\r': out += "\\r"; break;
+      case '\t': out += "\\t"; break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20)
+          out += format("\\u%04x", static_cast<unsigned>(c));
+        else
+          out += c;
+    }
+  }
+  return out;
+}
+
+std::string num(double v) { return format("%.9g", v); }
+
+std::string num(u64 v) {
+  return format("%llu", static_cast<unsigned long long>(v));
+}
+
+/// Comma-separated accumulation helper for JSON object/array bodies.
+class Joiner {
+ public:
+  void add(const std::string& piece) {
+    if (!first_) out_ += ',';
+    first_ = false;
+    out_ += piece;
+  }
+  const std::string& str() const { return out_; }
+
+ private:
+  std::string out_;
+  bool first_ = true;
+};
+
+std::string trace_event(const char* name, char phase, double ts_us) {
+  return format(
+      "{\"name\":\"%s\",\"cat\":\"antarex\",\"ph\":\"%c\",\"pid\":1,"
+      "\"tid\":1,\"ts\":%.3f}",
+      json_escape(name).c_str(), phase, ts_us);
+}
+
+}  // namespace
+
+std::string chrome_trace_json(const Registry& registry) {
+  const TraceBuffer& buf = registry.trace();
+  const std::vector<TraceEvent>& events = buf.events();
+  const u64 t0 = events.empty() ? 0 : events.front().ts_ns;
+
+  Joiner body;
+  std::vector<const char*> open;  // names of not-yet-closed 'B' events
+  double last_ts_us = 0.0;
+  for (const TraceEvent& e : events) {
+    const double ts_us = static_cast<double>(e.ts_ns - t0) / 1000.0;
+    last_ts_us = ts_us;
+    if (e.phase == 'B') {
+      body.add(trace_event(e.name, 'B', ts_us));
+      open.push_back(e.name);
+    } else if (!open.empty()) {
+      // Well-nested by RAII construction; a mismatch can only come from
+      // events dropped at capacity, in which case we close what is open.
+      body.add(trace_event(open.back(), 'E', ts_us));
+      open.pop_back();
+    }
+    // Orphan 'E' with nothing open: its 'B' was dropped — skip it.
+  }
+  while (!open.empty()) {
+    body.add(trace_event(open.back(), 'E', last_ts_us));
+    open.pop_back();
+  }
+
+  return "{\"traceEvents\":[" + body.str() +
+         "],\"displayTimeUnit\":\"ms\",\"otherData\":{\"recorded\":" +
+         num(static_cast<u64>(events.size())) +
+         ",\"dropped\":" + num(buf.dropped()) + "}}";
+}
+
+std::string metrics_json(const Registry& registry) {
+  Joiner counters;
+  for (const auto& [name, c] : registry.counters())
+    counters.add("\"" + json_escape(name) + "\":" + num(c->value()));
+
+  Joiner gauges;
+  for (const auto& [name, g] : registry.gauges())
+    gauges.add("\"" + json_escape(name) + "\":{\"last\":" + num(g->last()) +
+               ",\"min\":" + num(g->min()) + ",\"max\":" + num(g->max()) +
+               ",\"updates\":" + num(g->updates()) + "}");
+
+  Joiner histograms;
+  for (const auto& [name, h] : registry.histograms()) {
+    Joiner buckets;
+    for (std::size_t i = 0; i < h->bins(); ++i) buckets.add(num(h->bucket(i)));
+    histograms.add("\"" + json_escape(name) + "\":{\"lo\":" + num(h->lo()) +
+                   ",\"hi\":" + num(h->hi()) + ",\"count\":" + num(h->count()) +
+                   ",\"sum\":" + num(h->sum()) + ",\"mean\":" + num(h->mean()) +
+                   ",\"buckets\":[" + buckets.str() + "]}");
+  }
+
+  Joiner series;
+  for (const auto& [name, s] : registry.all_series()) {
+    const bool has = !s->empty();
+    series.add("\"" + json_escape(name) +
+               "\":{\"count\":" + num(static_cast<u64>(s->count())) +
+               ",\"last\":" + num(has ? s->last() : 0.0) +
+               ",\"mean\":" + num(has ? s->window_mean() : 0.0) +
+               ",\"p95\":" + num(has ? s->window_percentile(95) : 0.0) +
+               ",\"ewma\":" + num(has ? s->ewma() : 0.0) + "}");
+  }
+
+  const TraceBuffer& buf = registry.trace();
+  return "{\"schema\":\"antarex.telemetry.metrics/v1\",\"counters\":{" +
+         counters.str() + "},\"gauges\":{" + gauges.str() +
+         "},\"histograms\":{" + histograms.str() + "},\"series\":{" +
+         series.str() + "},\"trace\":{\"events\":" +
+         num(static_cast<u64>(buf.size())) + ",\"dropped\":" +
+         num(buf.dropped()) + "}}";
+}
+
+Table summary_table(const Registry& registry) {
+  Table t({"metric", "kind", "count", "value", "mean", "p95"});
+  for (const auto& [name, c] : registry.counters())
+    t.add_row({name, "counter", num(c->value()), num(c->value()), "-", "-"});
+  for (const auto& [name, g] : registry.gauges())
+    t.add_row({name, "gauge", num(g->updates()), format("%.4g", g->last()),
+               "-", format("max %.4g", g->max())});
+  for (const auto& [name, h] : registry.histograms())
+    t.add_row({name, "histogram", num(h->count()), format("%.4g", h->sum()),
+               format("%.4g", h->mean()),
+               format("%.4g", h->approx_percentile(95))});
+  for (const auto& [name, s] : registry.all_series()) {
+    const bool has = !s->empty();
+    t.add_row({name, "series", num(static_cast<u64>(s->count())),
+               format("%.4g", has ? s->last() : 0.0),
+               format("%.4g", has ? s->window_mean() : 0.0),
+               format("%.4g", has ? s->window_percentile(95) : 0.0)});
+  }
+  return t;
+}
+
+void write_text_file(const std::string& path, const std::string& content) {
+  std::FILE* f = std::fopen(path.c_str(), "wb");
+  ANTAREX_REQUIRE(f != nullptr, "telemetry: cannot open '" + path + "' for writing");
+  const std::size_t written = std::fwrite(content.data(), 1, content.size(), f);
+  const int close_rc = std::fclose(f);
+  ANTAREX_REQUIRE(written == content.size() && close_rc == 0,
+                  "telemetry: short write to '" + path + "'");
+}
+
+}  // namespace antarex::telemetry

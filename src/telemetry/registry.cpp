@@ -1,0 +1,158 @@
+#include "telemetry/registry.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+namespace antarex::telemetry {
+
+// --- Histogram --------------------------------------------------------------
+
+Histogram::Histogram(double lo, double hi, std::size_t bins)
+    : lo_(lo), hi_(hi), counts_(bins, 0) {
+  ANTAREX_REQUIRE(bins > 0, "telemetry::Histogram: need at least one bucket");
+  ANTAREX_REQUIRE(hi > lo, "telemetry::Histogram: empty value range");
+}
+
+void Histogram::add(double x) {
+  if (!enabled()) return;
+  const double frac = (x - lo_) / (hi_ - lo_);
+  auto idx = static_cast<std::ptrdiff_t>(
+      std::floor(frac * static_cast<double>(counts_.size())));
+  idx = std::clamp<std::ptrdiff_t>(idx, 0,
+                                   static_cast<std::ptrdiff_t>(counts_.size()) - 1);
+  ++counts_[static_cast<std::size_t>(idx)];
+  ++count_;
+  sum_ += x;
+}
+
+double Histogram::approx_percentile(double p) const {
+  ANTAREX_REQUIRE(p >= 0.0 && p <= 100.0,
+                  "telemetry::Histogram: percentile outside [0,100]");
+  if (count_ == 0) return 0.0;
+  const u64 rank = std::max<u64>(
+      1, static_cast<u64>(std::ceil(p / 100.0 * static_cast<double>(count_))));
+  u64 seen = 0;
+  for (std::size_t i = 0; i < counts_.size(); ++i) {
+    seen += counts_[i];
+    if (seen >= rank) {
+      const double width = (hi_ - lo_) / static_cast<double>(counts_.size());
+      return lo_ + (static_cast<double>(i) + 0.5) * width;
+    }
+  }
+  return hi_;
+}
+
+void Histogram::reset() {
+  std::fill(counts_.begin(), counts_.end(), 0);
+  count_ = 0;
+  sum_ = 0.0;
+}
+
+// --- Series -----------------------------------------------------------------
+
+Series::Series(std::size_t window, double ewma_alpha)
+    : window_(window), ewma_(ewma_alpha) {}
+
+void Series::push(double sample) {
+  window_.add(sample);
+  ewma_.add(sample);
+  last_ = sample;
+  ++total_;
+}
+
+void Series::clear() {
+  window_.clear();
+  ewma_.clear();
+  last_ = 0.0;
+  total_ = 0;
+}
+
+void Series::reset_window(std::size_t window) {
+  window_ = SlidingWindow(window);
+  ewma_.clear();
+  last_ = 0.0;
+  total_ = 0;
+}
+
+// --- Registry ---------------------------------------------------------------
+
+Registry::Registry() = default;
+
+Registry& Registry::global() {
+  static Registry* g = new Registry();  // leaked on purpose, see header
+  return *g;
+}
+
+Counter& Registry::counter(const std::string& name) {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto& slot = counters_[name];
+  if (!slot) slot = std::make_unique<Counter>();
+  return *slot;
+}
+
+Gauge& Registry::gauge(const std::string& name) {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto& slot = gauges_[name];
+  if (!slot) slot = std::make_unique<Gauge>();
+  return *slot;
+}
+
+Histogram& Registry::histogram(const std::string& name, double lo, double hi,
+                               std::size_t bins) {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto& slot = histograms_[name];
+  if (!slot) slot = std::make_unique<Histogram>(lo, hi, bins);
+  return *slot;
+}
+
+Series& Registry::series(const std::string& name, std::size_t window) {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto& slot = series_[name];
+  if (!slot)
+    slot = std::make_unique<Series>(window);
+  else if (window != 0 && slot->window_capacity() != window)
+    slot->reset_window(window);
+  return *slot;
+}
+
+template <typename Map, typename Ptr>
+static std::vector<std::pair<std::string, Ptr>> snapshot(const Map& map) {
+  std::vector<std::pair<std::string, Ptr>> out;
+  out.reserve(map.size());
+  for (const auto& [name, item] : map) out.emplace_back(name, item.get());
+  return out;
+}
+
+std::vector<std::pair<std::string, const Counter*>> Registry::counters() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return snapshot<decltype(counters_), const Counter*>(counters_);
+}
+
+std::vector<std::pair<std::string, const Gauge*>> Registry::gauges() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return snapshot<decltype(gauges_), const Gauge*>(gauges_);
+}
+
+std::vector<std::pair<std::string, const Histogram*>> Registry::histograms() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return snapshot<decltype(histograms_), const Histogram*>(histograms_);
+}
+
+std::vector<std::pair<std::string, const Series*>> Registry::all_series() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return snapshot<decltype(series_), const Series*>(series_);
+}
+
+void Registry::reset() {
+  // Zero in place rather than erase: instrument sites cache references to
+  // these objects (function-local statics), so the objects must live as long
+  // as the registry.
+  std::lock_guard<std::mutex> lock(mu_);
+  for (auto& [name, c] : counters_) c->reset();
+  for (auto& [name, g] : gauges_) g->reset();
+  for (auto& [name, h] : histograms_) h->reset();
+  for (auto& [name, s] : series_) s->clear();
+  trace_.clear();
+}
+
+}  // namespace antarex::telemetry

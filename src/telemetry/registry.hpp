@@ -1,0 +1,162 @@
+// The process-wide metric registry: named counters, gauges, fixed-bucket
+// histograms, windowed series, and the trace buffer.
+//
+// Hot-path contract: instrument sites cache the reference returned by
+// counter()/gauge()/histogram() (the TELEMETRY_* macros do this with a
+// function-local static), so the map lookup happens once per site and each
+// update is an enabled() branch plus one store/add. Registration is
+// mutex-guarded; updates are not (the simulators are single-threaded by
+// design — see support/sim_clock.hpp), except counters, which are relaxed
+// atomics so concurrent readers (exporters) never tear.
+#pragma once
+
+#include <map>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <vector>
+
+#include "support/common.hpp"
+#include "support/stats.hpp"
+#include "telemetry/enable.hpp"
+#include "telemetry/trace.hpp"
+
+namespace antarex::telemetry {
+
+/// Monotonically increasing event count.
+class Counter {
+ public:
+  void add(u64 n = 1) {
+    if (!enabled()) return;
+    value_.fetch_add(n, std::memory_order_relaxed);
+  }
+  void inc() { add(1); }
+  u64 value() const { return value_.load(std::memory_order_relaxed); }
+  void reset() { value_.store(0, std::memory_order_relaxed); }
+
+ private:
+  std::atomic<u64> value_{0};
+};
+
+/// Last-value metric with min/max envelope (queue depths, power draw, ...).
+class Gauge {
+ public:
+  void set(double v) {
+    if (!enabled()) return;
+    last_ = v;
+    if (updates_ == 0 || v < min_) min_ = v;
+    if (updates_ == 0 || v > max_) max_ = v;
+    ++updates_;
+  }
+  double last() const { return last_; }
+  double min() const { return min_; }
+  double max() const { return max_; }
+  u64 updates() const { return updates_; }
+  void reset() { last_ = min_ = max_ = 0.0; updates_ = 0; }
+
+ private:
+  double last_ = 0.0;
+  double min_ = 0.0;
+  double max_ = 0.0;
+  u64 updates_ = 0;
+};
+
+/// Fixed-range, fixed-bucket histogram (out-of-range values clamp to the
+/// edge buckets). Tracks sum/count for exact means; percentiles are bucket
+/// approximations (nearest-rank over bucket midpoints).
+class Histogram {
+ public:
+  Histogram(double lo, double hi, std::size_t bins);
+
+  void add(double x);
+
+  double lo() const { return lo_; }
+  double hi() const { return hi_; }
+  std::size_t bins() const { return counts_.size(); }
+  u64 bucket(std::size_t i) const { return counts_.at(i); }
+  u64 count() const { return count_; }
+  double sum() const { return sum_; }
+  double mean() const { return count_ ? sum_ / static_cast<double>(count_) : 0.0; }
+  /// Approximate percentile in [0,100]: midpoint of the nearest-rank bucket.
+  double approx_percentile(double p) const;
+  void reset();
+
+ private:
+  double lo_, hi_;
+  std::vector<u64> counts_;
+  u64 count_ = 0;
+  double sum_ = 0.0;
+};
+
+/// A named sample stream with windowed statistics — the registry-resident
+/// backend of tuner::Monitor. NOT gated by enabled(): monitors feed the
+/// autotuner's control loop, so dropping samples would change behaviour,
+/// not just visibility. Built on the single rolling-stats implementation in
+/// support/stats (SlidingWindow + Ewma).
+class Series {
+ public:
+  explicit Series(std::size_t window = 64, double ewma_alpha = 0.25);
+
+  void push(double sample);
+
+  std::size_t count() const { return total_; }
+  bool empty() const { return total_ == 0; }
+  double last() const { return last_; }
+  double window_mean() const { return window_.mean(); }
+  double window_percentile(double p) const { return window_.percentile(p); }
+  double ewma() const { return ewma_.value(); }
+  std::size_t window_capacity() const { return window_.capacity(); }
+
+  void clear();
+  /// Re-shape the rolling window in place (clears held samples). Keeps the
+  /// Series object's address stable — cached pointers stay valid.
+  void reset_window(std::size_t window);
+
+ private:
+  SlidingWindow window_;
+  Ewma ewma_;
+  double last_ = 0.0;
+  std::size_t total_ = 0;
+};
+
+class Registry {
+ public:
+  Registry();
+
+  /// The process-wide registry every TELEMETRY_* macro and monitor uses.
+  /// Intentionally leaked: spans may fire during static destruction.
+  static Registry& global();
+
+  // Get-or-create by name. References/pointers remain valid for the life of
+  // the registry (node-based storage).
+  Counter& counter(const std::string& name);
+  Gauge& gauge(const std::string& name);
+  /// lo/hi/bins apply on first creation only.
+  Histogram& histogram(const std::string& name, double lo, double hi,
+                       std::size_t bins);
+  /// `window` reshapes an existing series when it differs (in place).
+  Series& series(const std::string& name, std::size_t window = 64);
+
+  TraceBuffer& trace() { return trace_; }
+  const TraceBuffer& trace() const { return trace_; }
+
+  // Sorted snapshots for the exporters (cold path).
+  std::vector<std::pair<std::string, const Counter*>> counters() const;
+  std::vector<std::pair<std::string, const Gauge*>> gauges() const;
+  std::vector<std::pair<std::string, const Histogram*>> histograms() const;
+  std::vector<std::pair<std::string, const Series*>> all_series() const;
+
+  /// Zero every metric and clear the trace buffer (test isolation). Metric
+  /// objects stay alive — cached references remain valid.
+  void reset();
+
+ private:
+  mutable std::mutex mu_;
+  std::map<std::string, std::unique_ptr<Counter>> counters_;
+  std::map<std::string, std::unique_ptr<Gauge>> gauges_;
+  std::map<std::string, std::unique_ptr<Histogram>> histograms_;
+  std::map<std::string, std::unique_ptr<Series>> series_;
+  TraceBuffer trace_;
+};
+
+}  // namespace antarex::telemetry

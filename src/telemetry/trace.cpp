@@ -1,0 +1,70 @@
+#include "telemetry/trace.hpp"
+
+#include <chrono>
+
+#include "telemetry/registry.hpp"
+
+namespace antarex::telemetry {
+
+namespace {
+
+u64 steady_now_ns() {
+  return static_cast<u64>(
+      std::chrono::duration_cast<std::chrono::nanoseconds>(
+          std::chrono::steady_clock::now().time_since_epoch())
+          .count());
+}
+
+}  // namespace
+
+TraceBuffer::TraceBuffer(std::size_t capacity)
+    : capacity_(capacity), now_fn_(&steady_now_ns) {
+  ANTAREX_REQUIRE(capacity_ > 0, "TraceBuffer: need a positive capacity");
+  events_.reserve(std::min<std::size_t>(capacity_, 1024));
+}
+
+void TraceBuffer::push(const char* name, char phase) {
+  if (events_.size() >= capacity_) {
+    ++dropped_;
+    return;
+  }
+  events_.push_back(TraceEvent{name, now_fn_(), phase});
+}
+
+void TraceBuffer::clear() {
+  events_.clear();
+  dropped_ = 0;
+}
+
+void TraceBuffer::set_capacity(std::size_t capacity) {
+  ANTAREX_REQUIRE(capacity > 0, "TraceBuffer: need a positive capacity");
+  capacity_ = capacity;
+  clear();
+}
+
+void TraceBuffer::set_now_fn(NowFn fn) {
+  now_fn_ = fn ? fn : &steady_now_ns;
+}
+
+ScopedSpan::ScopedSpan(const char* name) : name_(name), active_(enabled()) {
+  if (active_) Registry::global().trace().push(name_, 'B');
+}
+
+ScopedSpan::~ScopedSpan() {
+  // Close the span even if telemetry was switched off mid-flight, so the
+  // buffer stays balanced.
+  if (active_) Registry::global().trace().push(name_, 'E');
+}
+
+ScopedTimer::ScopedTimer(Histogram& sink)
+    : sink_(enabled() ? &sink : nullptr) {
+  if (sink_) start_ns_ = Registry::global().trace().now_ns();
+}
+
+ScopedTimer::~ScopedTimer() {
+  if (!sink_) return;
+  const u64 end_ns = Registry::global().trace().now_ns();
+  sink_->add(static_cast<double>(end_ns - start_ns_) * 1e-9);
+}
+
+}  // namespace antarex::telemetry

@@ -1,0 +1,87 @@
+// Trace spans: hierarchical begin/end events in a bounded buffer.
+//
+// A ScopedSpan pushes a 'B' event at construction and an 'E' event at
+// destruction, so the buffer is chronologically ordered and properly nested
+// by construction (RAII). When the buffer is full, new events are dropped and
+// counted — the exporter and the metrics dump both report the drop counter,
+// so a truncated trace is never mistaken for a complete one.
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+#include "support/common.hpp"
+#include "telemetry/enable.hpp"
+
+namespace antarex::telemetry {
+
+class Histogram;
+
+struct TraceEvent {
+  const char* name;  ///< must outlive the buffer (string literal or interned)
+  u64 ts_ns;         ///< monotonic timestamp
+  char phase;        ///< 'B' (begin) or 'E' (end)
+};
+
+/// Bounded event buffer with drop accounting. Single-threaded like the rest
+/// of the simulation stack; the enabled() gate lives in the span, not here.
+class TraceBuffer {
+ public:
+  static constexpr std::size_t kDefaultCapacity = 1 << 16;
+
+  explicit TraceBuffer(std::size_t capacity = kDefaultCapacity);
+
+  void push(const char* name, char phase);
+
+  const std::vector<TraceEvent>& events() const { return events_; }
+  std::size_t size() const { return events_.size(); }
+  std::size_t capacity() const { return capacity_; }
+  u64 dropped() const { return dropped_; }
+  void clear();
+
+  /// Shrink/grow the bound (clears the buffer; tests use tiny capacities).
+  void set_capacity(std::size_t capacity);
+
+  /// Timestamp source, swappable for deterministic golden-file tests.
+  /// Default: std::chrono::steady_clock in nanoseconds.
+  using NowFn = u64 (*)();
+  void set_now_fn(NowFn fn);
+  u64 now_ns() const { return now_fn_(); }
+
+ private:
+  std::size_t capacity_;
+  std::vector<TraceEvent> events_;
+  u64 dropped_ = 0;
+  NowFn now_fn_;
+};
+
+/// RAII trace span. Use via TELEMETRY_SPAN("subsystem.operation"); the name
+/// must be a string literal (stored by pointer, never copied).
+class ScopedSpan {
+ public:
+  explicit ScopedSpan(const char* name);
+  ~ScopedSpan();
+  ScopedSpan(const ScopedSpan&) = delete;
+  ScopedSpan& operator=(const ScopedSpan&) = delete;
+
+ private:
+  const char* name_;
+  bool active_;
+};
+
+/// RAII timer recording its elapsed seconds into a telemetry Histogram on
+/// destruction. Gated at construction: when telemetry is disabled the object
+/// is inert.
+class ScopedTimer {
+ public:
+  explicit ScopedTimer(Histogram& sink);
+  ~ScopedTimer();
+  ScopedTimer(const ScopedTimer&) = delete;
+  ScopedTimer& operator=(const ScopedTimer&) = delete;
+
+ private:
+  Histogram* sink_;  ///< null when constructed disabled
+  u64 start_ns_ = 0;
+};
+
+}  // namespace antarex::telemetry

@@ -2,6 +2,8 @@
 
 #include <cmath>
 
+#include "telemetry/telemetry.hpp"
+
 namespace antarex::tuner {
 
 Autotuner::Autotuner(DesignSpace space, std::unique_ptr<Strategy> strategy,
@@ -19,6 +21,7 @@ const Configuration& Autotuner::next_configuration() {
   // Calling next twice without a report keeps the same decision: the decide
   // step is driven by new knowledge, and there is none yet.
   if (!awaiting_report_) {
+    TELEMETRY_SPAN("tuner.decide");
     current_ = strategy_->next(space_, knowledge_, config_.objective,
                                config_.minimize, rng_);
     ANTAREX_CHECK(space_.valid(current_), "Autotuner: strategy produced an "
@@ -29,15 +32,19 @@ const Configuration& Autotuner::next_configuration() {
 }
 
 void Autotuner::report(const std::map<std::string, double>& metrics) {
+  TELEMETRY_SPAN("tuner.report");
   ANTAREX_REQUIRE(awaiting_report_,
                   "Autotuner: report() without a preceding next_configuration()");
   auto it = metrics.find(config_.objective);
   ANTAREX_REQUIRE(it != metrics.end(),
                   "Autotuner: metrics missing objective '" + config_.objective + "'");
   const double y = it->second;
+  TELEMETRY_COUNT("tuner.iterations", 1);
+  TELEMETRY_GAUGE("tuner.objective", y);
 
   // Phase-change detection against learned knowledge.
   const auto learned = knowledge_.mean(current_, config_.objective);
+  if (learned) TELEMETRY_COUNT("tuner.kb_hits", 1);
   if (learned && knowledge_.samples(current_) >= config_.min_samples_for_phase) {
     const double denom = std::max(1e-12, std::fabs(*learned));
     if (std::fabs(y - *learned) / denom > config_.phase_threshold) {
@@ -46,6 +53,7 @@ void Autotuner::report(const std::map<std::string, double>& metrics) {
         strategy_->reset();
         ++phase_changes_;
         phase_suspicion_ = 0;
+        TELEMETRY_COUNT("tuner.phase_changes", 1);
       }
     } else {
       phase_suspicion_ = 0;

@@ -5,35 +5,30 @@
 namespace antarex::tuner {
 
 Monitor::Monitor(std::string metric, std::size_t window)
-    : metric_(std::move(metric)), window_(window), ewma_(0.25) {}
-
-void Monitor::push(double sample) {
-  window_.add(sample);
-  ewma_.add(sample);
-  last_ = sample;
-  ++total_;
+    : metric_(std::move(metric)),
+      series_(&telemetry::Registry::global().series(metric_, window)) {
+  // A freshly constructed monitor starts empty, even if a previous run
+  // already registered this stream.
+  series_->clear();
 }
 
+void Monitor::push(double sample) { series_->push(sample); }
+
 double Monitor::last() const {
-  ANTAREX_REQUIRE(total_ > 0, "Monitor '" + metric_ + "': no samples");
-  return last_;
+  ANTAREX_REQUIRE(!series_->empty(), "Monitor '" + metric_ + "': no samples");
+  return series_->last();
 }
 
 double Monitor::window_mean() const {
-  ANTAREX_REQUIRE(total_ > 0, "Monitor '" + metric_ + "': no samples");
-  return window_.mean();
+  ANTAREX_REQUIRE(!series_->empty(), "Monitor '" + metric_ + "': no samples");
+  return series_->window_mean();
 }
 
 double Monitor::window_percentile(double p) const {
-  ANTAREX_REQUIRE(total_ > 0, "Monitor '" + metric_ + "': no samples");
-  return window_.percentile(p);
+  ANTAREX_REQUIRE(!series_->empty(), "Monitor '" + metric_ + "': no samples");
+  return series_->window_percentile(p);
 }
 
-void Monitor::clear() {
-  window_.clear();
-  ewma_.clear();
-  last_ = 0.0;
-  total_ = 0;
-}
+void Monitor::clear() { series_->clear(); }
 
 }  // namespace antarex::tuner

@@ -5,13 +5,20 @@
 #include <string>
 #include <vector>
 
-#include "support/stats.hpp"
+#include "telemetry/registry.hpp"
 
 namespace antarex::tuner {
 
 /// A named runtime metric stream with windowed statistics. The application
 /// (or the instrumentation woven by the DSL) pushes samples; the autotuner
 /// and the SLA checker read aggregates.
+///
+/// The rolling statistics live in a telemetry::Series owned by the global
+/// telemetry registry, so every monitored stream is visible to the exporters
+/// (metrics JSON, summary table) without extra plumbing, and there is a
+/// single rolling-stats implementation in the codebase. Constructing a
+/// Monitor claims (and resets) the registry stream of the same name; two
+/// live monitors with the same metric name share one stream.
 class Monitor {
  public:
   explicit Monitor(std::string metric, std::size_t window = 64);
@@ -19,20 +26,17 @@ class Monitor {
   const std::string& metric() const { return metric_; }
   void push(double sample);
 
-  std::size_t samples() const { return total_; }
-  bool empty() const { return total_ == 0; }
+  std::size_t samples() const { return series_->count(); }
+  bool empty() const { return series_->empty(); }
   double last() const;
   double window_mean() const;
   double window_percentile(double p) const;
-  double ewma() const { return ewma_.value(); }
+  double ewma() const { return series_->ewma(); }
   void clear();
 
  private:
   std::string metric_;
-  SlidingWindow window_;
-  Ewma ewma_;
-  double last_ = 0.0;
-  std::size_t total_ = 0;
+  telemetry::Series* series_;  ///< owned by telemetry::Registry::global()
 };
 
 /// Service Level Agreement goal over one metric.

@@ -3,6 +3,7 @@
 #include <cmath>
 
 #include "support/strings.hpp"
+#include "telemetry/telemetry.hpp"
 #include "vm/compiler.hpp"
 
 namespace antarex::vm {
@@ -175,6 +176,9 @@ const CompiledFunction* Engine::generic_version(const std::string& name) const {
 }
 
 Value Engine::call(const std::string& func, std::vector<Value> args) {
+  // One span per external entry; internal recursion stays span-free so hot
+  // bytecode loops do not flood the trace buffer.
+  TELEMETRY_SPAN("vm.call");
   return dispatch(func, args);
 }
 
@@ -184,8 +188,10 @@ Value Engine::dispatch(const std::string& name, std::vector<Value>& args) {
     auto hit = host_.find(name);
     if (hit == host_.end())
       throw Error("vm: call to unknown function '" + name + "'");
+    TELEMETRY_COUNT("vm.host_calls", 1);
     return hit->second(std::span<const Value>(args.data(), args.size()));
   }
+  TELEMETRY_COUNT("vm.calls", 1);
   if (call_hook_ && !in_hook_) {
     // Guard against re-entrancy: actions triggered by the hook (e.g. probe
     // evaluation) must not re-trigger dynamic weaving.
@@ -213,6 +219,7 @@ Value Engine::dispatch(const std::string& name, std::vector<Value>& args) {
       if (guard == v) {
         target = &variant;
         ++e.stats.specialized_hits;
+        TELEMETRY_COUNT("vm.specialized_hits", 1);
         // Specialized variants produced by passes::specialize_function have
         // the guarded parameter bound and removed from the signature.
         if (variant.num_params + 1 == args.size())
@@ -369,6 +376,7 @@ Value Engine::execute(const CompiledFunction& f, std::vector<Value>& args) {
   }
   per_function_[f.name] += own_instructions;
   --call_depth_;
+  TELEMETRY_COUNT("vm.instructions", own_instructions);
   return result;
 }
 
