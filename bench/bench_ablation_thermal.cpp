@@ -97,6 +97,9 @@ int main() {
   }
   t.print();
 
+  bench::metric("feedback_understates", feedback_understates ? 1.0 : 0.0);
+  bench::metric("no_base_pins_bottom", no_base_pins_bottom ? 1.0 : 0.0);
+  bench::metric("max_nobase_savings_pct", 100.0 * max_nobase_savings);
   bench::verdict(
       "(design decision) both thermal feedback and node base power are needed "
       "to land in the paper's 18-50% savings band",

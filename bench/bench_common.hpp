@@ -89,6 +89,8 @@ inline void write_report() {
                  r.metrics.count("simulated_joules")
                      ? r.metrics.at("simulated_joules")
                      : 0.0);
+  body += format("  \"threads\": %.9g,\n",
+                 r.metrics.count("threads") ? r.metrics.at("threads") : 1.0);
   body += "  \"metrics\": {";
   bool first = true;
   for (const auto& [key, value] : r.metrics) {
@@ -128,11 +130,25 @@ inline void header(const std::string& id, const std::string& what) {
   r.active = true;
 }
 
-/// Attach a number to the bench's JSON report. Well-known keys "iterations"
-/// and "simulated_joules" surface as top-level fields; everything else lands
-/// under "metrics".
+/// Attach a number to the bench's JSON report. Well-known keys "iterations",
+/// "simulated_joules", and "threads" surface as top-level fields (threads
+/// defaults to 1 — a bench that never parallelizes is a one-thread run);
+/// everything else lands under "metrics".
 inline void metric(const std::string& key, double value) {
   detail::report().metrics[key] = value;
+}
+
+/// Parse `--threads N` from a bench's argv; any other arguments are left
+/// alone. N <= 0 (or no flag) selects hardware concurrency as reported by
+/// the runtime. The chosen value is also recorded as the report's top-level
+/// "threads" field.
+inline int parse_threads(int argc, char** argv, int hardware_default) {
+  int threads = hardware_default;
+  for (int i = 1; i + 1 < argc; ++i)
+    if (std::string(argv[i]) == "--threads") threads = std::atoi(argv[i + 1]);
+  if (threads <= 0) threads = hardware_default;
+  metric("threads", static_cast<double>(threads));
+  return threads;
 }
 
 /// Prints one claim line: the paper's statement vs our measurement. Also

@@ -186,6 +186,12 @@ int main() {
              format("%.1f ms", ms_since(t0))});
   t.print();
 
+  bench::metric("iterations",
+                static_cast<double>(cluster.dispatcher().completed()));
+  bench::metric("peak_it_power_w", cluster.telemetry().peak_it_power_w);
+  bench::metric("max_temperature_c", cluster.telemetry().max_temperature_c);
+  bench::metric("kernel_versions",
+                static_cast<double>(engine.version_count("kernel")));
   bench::verdict(
       "the Figure 1 flow is closed: DSL -> weave -> split-compile -> runtime "
       "autotuning + RTRM",

@@ -48,6 +48,7 @@ int main() {
   Table t({"call sites", "weave time (ms)", "probes", "instr unwoven",
            "instr woven", "probe overhead"});
 
+  double total_probes = 0.0, total_weave_ms = 0.0, last_overhead_pct = 0.0;
   for (int sites : {4, 16, 64}) {
     const std::string src = synthetic_app(4, sites);
 
@@ -82,9 +83,17 @@ int main() {
                format("%.1f%%", 100.0 * (static_cast<double>(woven_instr) /
                                              static_cast<double>(base_instr) -
                                          1.0))});
+    total_probes += static_cast<double>(weaver.stats().inserts);
+    total_weave_ms += weave_ms;
+    last_overhead_pct = 100.0 * (static_cast<double>(woven_instr) /
+                                     static_cast<double>(base_instr) -
+                                 1.0);
   }
   t.print();
 
+  bench::metric("iterations", total_probes);
+  bench::metric("weave_ms_total", total_weave_ms);
+  bench::metric("probe_overhead_pct_max_sites", last_overhead_pct);
   bench::verdict(
       "aspect injects profiling before matching calls only (Fig. 2 semantics)",
       "probes = matching sites; overhead grows linearly with probe count",

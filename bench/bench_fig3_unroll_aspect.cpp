@@ -3,6 +3,8 @@
 // Sweeps the aspect's `threshold` input over a kernel with several innermost
 // loops of different trip counts and reports which loops get unrolled and the
 // resulting VM-instruction speedup.
+#include <algorithm>
+
 #include "bench_common.hpp"
 #include "cir/analysis.hpp"
 #include "cir/parser.hpp"
@@ -60,6 +62,7 @@ int main() {
   t.add_row({"(none)", "0", "4", format("%llu",
              static_cast<unsigned long long>(baseline)), "1.00x"});
 
+  double total_unrolls = 0.0, best_speedup = 1.0;
   for (double threshold : {4.0, 12.0, 48.0}) {
     auto module = cir::parse_module(kKernel);
     dsl::Weaver weaver(*module);
@@ -79,9 +82,15 @@ int main() {
                format("%llu", static_cast<unsigned long long>(instr)),
                format("%.2fx", static_cast<double>(baseline) /
                                    static_cast<double>(instr))});
+    total_unrolls += static_cast<double>(weaver.stats().unrolls);
+    best_speedup = std::max(best_speedup, static_cast<double>(baseline) /
+                                              static_cast<double>(instr));
   }
   t.print();
 
+  bench::metric("iterations", total_unrolls);
+  bench::metric("baseline_instructions", static_cast<double>(baseline));
+  bench::metric("best_speedup", best_speedup);
   bench::verdict(
       "only innermost FOR loops with numIter <= threshold are unrolled",
       "unroll count follows the threshold; speedup grows as more loops qualify",

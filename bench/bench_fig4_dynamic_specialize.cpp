@@ -3,6 +3,7 @@
 // Measures the runtime economics of dynamic specialization: one-off
 // specialization cost at the first in-range call, then per-call instruction
 // savings at steady state, across a range of runtime argument values.
+#include <algorithm>
 #include <chrono>
 
 #include "bench_common.hpp"
@@ -73,6 +74,7 @@ int main() {
 
   Table t({"size", "in range", "1st call instr", "steady instr",
            "generic instr", "steady saving", "specialize cost (ms)"});
+  double max_saving_pct = 0.0, calls = 0.0;
   for (i64 size : {8, 32, 128, 512}) {
     const bool in_range = size >= 2 && size <= 256;
 
@@ -101,12 +103,22 @@ int main() {
                format("%.1f%%", 100.0 * (1.0 - static_cast<double>(steady) /
                                                    static_cast<double>(generic))),
                in_range ? format("%.2f", spec_ms) : std::string("-")});
+    max_saving_pct = std::max(
+        max_saving_pct, 100.0 * (1.0 - static_cast<double>(steady) /
+                                           static_cast<double>(generic)));
+    calls += 1.0;
   }
   t.print();
 
   std::printf("installed versions: %zu; dynamic triggers: %zu\n\n",
               engine.version_count("kernel"), weaver.stats().dynamic_triggers);
 
+  bench::metric("iterations", calls);
+  bench::metric("kernel_versions",
+                static_cast<double>(engine.version_count("kernel")));
+  bench::metric("dynamic_triggers",
+                static_cast<double>(weaver.stats().dynamic_triggers));
+  bench::metric("max_steady_saving_pct", max_saving_pct);
   bench::verdict(
       "runtime values in [lowT, highT] get specialized + unrolled variants "
       "via the JIT manager's dispatch table",

@@ -1,0 +1,67 @@
+#include "dock/parallel.hpp"
+
+#include <chrono>
+
+#include "telemetry/telemetry.hpp"
+
+namespace antarex::dock {
+
+namespace {
+
+double seconds_since(std::chrono::steady_clock::time_point t0) {
+  return std::chrono::duration<double>(std::chrono::steady_clock::now() - t0)
+      .count();
+}
+
+DockResult dock_one(const AffinityGrid& grid, const Molecule& mol,
+                    const DockParams& params, u64 run_seed, std::size_t index) {
+  Rng rng(exec::stream_seed(run_seed, index));
+  return dock_ligand(grid, mol, params, rng);
+}
+
+}  // namespace
+
+LibraryRunResult dock_library_serial(const AffinityGrid& grid,
+                                     const std::vector<Molecule>& ligands,
+                                     const DockParams& params, u64 run_seed) {
+  TELEMETRY_SPAN("dock.library_serial");
+  LibraryRunResult out;
+  out.results.reserve(ligands.size());
+  const auto t0 = std::chrono::steady_clock::now();
+  for (std::size_t i = 0; i < ligands.size(); ++i)
+    out.results.push_back(dock_one(grid, ligands[i], params, run_seed, i));
+  out.wall_s = seconds_since(t0);
+  out.imbalance = 1.0;
+  out.worker_busy_s = {out.wall_s};
+  return out;
+}
+
+LibraryRunResult run_parallel(exec::ThreadPool& pool, const AffinityGrid& grid,
+                              const std::vector<Molecule>& ligands,
+                              const DockParams& params, u64 run_seed,
+                              int batch) {
+  ANTAREX_REQUIRE(batch >= 1, "dock::run_parallel: batch must be >= 1");
+  TELEMETRY_SPAN("dock.library_parallel");
+
+  // Stats window scoped to this run so steal/busy numbers are attributable.
+  pool.reset_stats();
+  const auto t0 = std::chrono::steady_clock::now();
+  LibraryRunResult out;
+  out.results = exec::parallel_map<DockResult>(
+      pool, ligands.size(), static_cast<std::size_t>(batch),
+      [&](std::size_t i) {
+        return dock_one(grid, ligands[i], params, run_seed, i);
+      });
+  out.wall_s = seconds_since(t0);
+
+  const exec::PoolStats stats = pool.stats();
+  out.steals = stats.steals;
+  out.worker_busy_s = stats.worker_busy_s;
+  out.imbalance = stats.imbalance();
+  out.threads = pool.size();
+  out.batch = batch;
+  pool.publish_telemetry();
+  return out;
+}
+
+}  // namespace antarex::dock

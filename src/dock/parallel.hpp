@@ -1,0 +1,47 @@
+// Measured parallel docking on the antarex::exec work-stealing pool.
+//
+// This is the executable counterpart of the schedule_static/schedule_dynamic
+// *simulators* in dock.hpp: the simulators predict makespan/imbalance/steal
+// behaviour from cost vectors, run_parallel produces the same shape of result
+// from a real run (wall time, per-worker busy seconds, steal counts), so the
+// UC1 bench can put prediction and measurement side by side.
+//
+// Determinism contract: each ligand draws from its own RNG stream derived via
+// exec::stream_seed(run_seed, i) and results are returned in ligand index
+// order, so dock_library_serial and run_parallel produce byte-identical
+// results for any thread count (DESIGN.md decision 5).
+#pragma once
+
+#include <vector>
+
+#include "dock/dock.hpp"
+#include "exec/exec.hpp"
+
+namespace antarex::dock {
+
+/// Outcome of docking a whole ligand library, serial or parallel.
+struct LibraryRunResult {
+  std::vector<DockResult> results;    ///< per-ligand, always in index order
+  double wall_s = 0.0;                ///< measured wall-clock seconds
+  double imbalance = 0.0;             ///< max worker busy / mean busy (1.0 = serial)
+  u64 steals = 0;                     ///< pool steal count during the run
+  std::vector<double> worker_busy_s;  ///< measured per-worker busy seconds
+  int threads = 1;
+  int batch = 1;  ///< parallel_for grain used (ligands per chunk)
+};
+
+/// Serial reference run: docks ligands in index order, one derived RNG
+/// stream per ligand. The byte-identical baseline for run_parallel.
+LibraryRunResult dock_library_serial(const AffinityGrid& grid,
+                                     const std::vector<Molecule>& ligands,
+                                     const DockParams& params, u64 run_seed);
+
+/// Dock the library on `pool` with grain `batch` — the same batch knob the
+/// autotuner drives against schedule_dynamic in UC1, now applied to a real
+/// work-stealing run. Results are byte-identical to dock_library_serial.
+LibraryRunResult run_parallel(exec::ThreadPool& pool, const AffinityGrid& grid,
+                              const std::vector<Molecule>& ligands,
+                              const DockParams& params, u64 run_seed,
+                              int batch = 1);
+
+}  // namespace antarex::dock

@@ -1,0 +1,99 @@
+// Chase-Lev work-stealing deque (Chase & Lev, SPAA'05; memory ordering after
+// Le, Pop, Cohen & Nardelli, PPoPP'13).
+//
+// One owner thread pushes and pops at the bottom (LIFO — keeps the owner on
+// its cache-warm tail of the range); any number of thieves steal from the top
+// (FIFO — thieves take the oldest, largest-granularity work). The fast path
+// is lock-free: push is two stores, pop touches the CAS only for the final
+// element, and a steal is one CAS.
+//
+// Deliberate simplifications for this codebase:
+//  - Fixed capacity (power of two). The pool falls back to running a task
+//    inline when the deque is full, so a bound costs at most parallelism,
+//    never correctness.
+//  - Memory ordering is expressed on the atomics themselves rather than via
+//    standalone fences: ThreadSanitizer (which CI runs on test_exec) does not
+//    model std::atomic_thread_fence, and the stricter orderings cost nothing
+//    next to the millisecond-scale tasks this pool schedules.
+#pragma once
+
+#include <atomic>
+#include <cstddef>
+#include <vector>
+
+#include "support/common.hpp"
+
+namespace antarex::exec {
+
+class Task;
+
+class TaskDeque {
+ public:
+  explicit TaskDeque(std::size_t capacity = 1 << 13)
+      : mask_(capacity - 1), slots_(capacity) {
+    ANTAREX_REQUIRE(capacity >= 2 && (capacity & (capacity - 1)) == 0,
+                    "TaskDeque: capacity must be a power of two");
+  }
+
+  /// Owner only. False when full (caller should run the task inline).
+  bool push(Task* t) {
+    const i64 b = bottom_.load(std::memory_order_relaxed);
+    const i64 top = top_.load(std::memory_order_acquire);
+    if (b - top >= static_cast<i64>(slots_.size())) return false;
+    slots_[static_cast<std::size_t>(b) & mask_].store(t,
+                                                      std::memory_order_relaxed);
+    bottom_.store(b + 1, std::memory_order_release);
+    return true;
+  }
+
+  /// Owner only. Null when empty (or when a thief won the last element).
+  Task* pop() {
+    const i64 b = bottom_.load(std::memory_order_relaxed) - 1;
+    bottom_.store(b, std::memory_order_seq_cst);
+    i64 top = top_.load(std::memory_order_seq_cst);
+    Task* result = nullptr;
+    if (top <= b) {
+      result = slots_[static_cast<std::size_t>(b) & mask_].load(
+          std::memory_order_relaxed);
+      if (top == b) {
+        // Last element: race the thieves for it.
+        if (!top_.compare_exchange_strong(top, top + 1,
+                                          std::memory_order_seq_cst,
+                                          std::memory_order_relaxed))
+          result = nullptr;
+        bottom_.store(b + 1, std::memory_order_relaxed);
+      }
+    } else {
+      bottom_.store(b + 1, std::memory_order_relaxed);
+    }
+    return result;
+  }
+
+  /// Any thread. Null when empty or when another thief won the race.
+  Task* steal() {
+    i64 top = top_.load(std::memory_order_seq_cst);
+    const i64 b = bottom_.load(std::memory_order_seq_cst);
+    if (top >= b) return nullptr;
+    Task* result =
+        slots_[static_cast<std::size_t>(top) & mask_].load(std::memory_order_relaxed);
+    if (!top_.compare_exchange_strong(top, top + 1, std::memory_order_seq_cst,
+                                      std::memory_order_relaxed))
+      return nullptr;
+    return result;
+  }
+
+  /// Racy size estimate (telemetry only).
+  std::size_t size_approx() const {
+    const i64 b = bottom_.load(std::memory_order_relaxed);
+    const i64 top = top_.load(std::memory_order_relaxed);
+    return b > top ? static_cast<std::size_t>(b - top) : 0;
+  }
+
+ private:
+  const std::size_t mask_;
+  std::vector<std::atomic<Task*>> slots_;
+  alignas(64) std::atomic<i64> top_{0};
+  alignas(64) std::atomic<i64> bottom_{0};
+};
+
+}  // namespace antarex::exec

@@ -1,0 +1,15 @@
+// antarex::exec — deterministic work-stealing parallel runtime.
+//
+// The paper's use-case claim (Sec. VII-a) is that docking's "widely varying
+// per-task time" makes dynamic load balancing critical. The dock module
+// *simulates* that scheduling problem over cost vectors; this subsystem
+// executes it: a Chase-Lev work-stealing thread pool, parallel_for with a
+// tunable grain size (the same batch knob the autotuner drives in UC1), a
+// small task/future API, and determinism primitives (seed-split RNG streams,
+// ordered reduction) that keep every parallel result byte-identical across
+// thread counts. See DESIGN.md subsystem #14 and README "Parallel execution".
+#pragma once
+
+#include "exec/deque.hpp"
+#include "exec/parallel.hpp"
+#include "exec/pool.hpp"

@@ -1,0 +1,56 @@
+// Deterministic parallelism primitives on top of ThreadPool.
+//
+// The two rules that keep a parallel computation byte-reproducible across
+// thread counts (DESIGN.md decision 5):
+//  1. Per-task RNG streams: stream_seed(run_seed, i) derives an independent
+//     SplitMix64-mixed seed per task index — never draw from a shared
+//     generator inside a parallel region, because draw order would then
+//     depend on scheduling.
+//  2. Ordered reduction: parallel_map writes results by index and any fold
+//     over them runs serially in index order, so floating-point combination
+//     order never depends on completion order.
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+#include "exec/pool.hpp"
+#include "support/rng.hpp"
+
+namespace antarex::exec {
+
+/// Seed for the i-th parallel stream of a run: SplitMix64 over the run seed
+/// offset by the golden-ratio increment, so neighbouring indices land in
+/// decorrelated states (the same construction SplitMix64 uses internally).
+inline u64 stream_seed(u64 run_seed, u64 index) {
+  SplitMix64 sm(run_seed + (index + 1) * 0x9e3779b97f4a7c15ULL);
+  return sm.next();
+}
+
+/// results[i] = fn(i) for i in [0, n), computed in parallel, returned in
+/// index order. T must be default-constructible.
+template <typename T, typename Fn>
+std::vector<T> parallel_map(ThreadPool& pool, std::size_t n, std::size_t grain,
+                            Fn&& fn) {
+  std::vector<T> results(n);
+  T* out = results.data();
+  pool.parallel_for(n, grain, [&fn, out](std::size_t begin, std::size_t end) {
+    for (std::size_t i = begin; i < end; ++i) out[i] = fn(i);
+  });
+  return results;
+}
+
+/// Ordered reduction: acc = combine(acc, fn(i)) folded serially in index
+/// order over results produced in parallel. Deterministic for any thread
+/// count, including non-associative (floating-point) combines.
+template <typename Acc, typename T, typename Fn, typename Combine>
+Acc parallel_reduce(ThreadPool& pool, std::size_t n, std::size_t grain,
+                    Acc init, Fn&& fn, Combine&& combine) {
+  const std::vector<T> results =
+      parallel_map<T>(pool, n, grain, std::forward<Fn>(fn));
+  Acc acc = std::move(init);
+  for (const T& r : results) acc = combine(std::move(acc), r);
+  return acc;
+}
+
+}  // namespace antarex::exec

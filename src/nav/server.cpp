@@ -1,7 +1,11 @@
 #include "nav/server.hpp"
 
 #include <algorithm>
+#include <chrono>
+#include <deque>
+#include <future>
 #include <queue>
+#include <utility>
 
 #include "telemetry/telemetry.hpp"
 
@@ -15,6 +19,40 @@ NavServer::NavServer(const RoadGraph& graph, const SpeedProfiles& profiles,
       workers_(workers) {
   ANTAREX_REQUIRE(unit_cost_s_ > 0.0, "NavServer: non-positive unit cost");
   ANTAREX_REQUIRE(workers_ >= 1, "NavServer: need at least one worker");
+}
+
+void NavServer::compute_route(const Request& req, const ServerKnobs& knobs,
+                              ServedRequest& served) const {
+  u64 expanded = 0;
+  Route primary;
+  if (knobs.k_routes == 1) {
+    primary = shortest_path_td(graph_, profiles_, req.from, req.to,
+                               req.arrival_s, knobs.opts);
+    expanded = primary.expanded;
+  } else {
+    auto routes = k_alternatives(graph_, profiles_, req.from, req.to,
+                                 req.arrival_s, knobs.k_routes, 1.3, knobs.opts);
+    for (const auto& r : routes) expanded += r.expanded;
+    if (!routes.empty()) primary = routes.front();
+  }
+  served.expanded = expanded;
+  served.service_s = static_cast<double>(expanded) * unit_cost_s_;
+
+  // Quality: exact optimum / returned time. epsilon == 1 with A* is
+  // admissible, so only inflated searches can lose quality.
+  if (primary.found()) {
+    if (knobs.opts.epsilon > 1.0) {
+      const Route exact = shortest_path_td(graph_, profiles_, req.from, req.to,
+                                           req.arrival_s, {true, 1.0});
+      served.quality = exact.found() && primary.travel_time_s > 0.0
+                           ? exact.travel_time_s / primary.travel_time_s
+                           : 1.0;
+    } else {
+      served.quality = 1.0;
+    }
+  } else {
+    served.quality = 0.0;  // unreachable pair: worst quality
+  }
 }
 
 std::vector<ServedRequest> NavServer::serve(const std::vector<Request>& requests,
@@ -60,52 +98,86 @@ std::vector<ServedRequest> NavServer::serve(const std::vector<Request>& requests
     ServedRequest served;
     served.request = req;
     served.knobs_used = knobs;
-
-    u64 expanded = 0;
-    Route primary;
-    if (knobs.k_routes == 1) {
-      primary = shortest_path_td(graph_, profiles_, req.from, req.to,
-                                 req.arrival_s, knobs.opts);
-      expanded = primary.expanded;
-    } else {
-      auto routes = k_alternatives(graph_, profiles_, req.from, req.to,
-                                   req.arrival_s, knobs.k_routes, 1.3, knobs.opts);
-      for (const auto& r : routes) expanded += r.expanded;
-      if (!routes.empty()) primary = routes.front();
-    }
-    served.expanded = expanded;
-    served.service_s = static_cast<double>(expanded) * unit_cost_s_;
+    compute_route(req, knobs, served);
     served.queue_wait_s = start - req.arrival_s;
     served.latency_s = served.queue_wait_s + served.service_s;
-
-    // Quality: exact optimum / returned time. epsilon == 1 with A* is
-    // admissible, so only inflated searches can lose quality.
-    if (primary.found()) {
-      if (knobs.opts.epsilon > 1.0) {
-        const Route exact = shortest_path_td(graph_, profiles_, req.from, req.to,
-                                             req.arrival_s, {true, 1.0});
-        served.quality = exact.found() && primary.travel_time_s > 0.0
-                             ? exact.travel_time_s / primary.travel_time_s
-                             : 1.0;
-      } else {
-        served.quality = 1.0;
-      }
-    } else {
-      served.quality = 0.0;  // unreachable pair: worst quality
-    }
 
     const double finish = start + served.service_s;
     free_at.push(finish);
     start_times.push_back(start);
 
     TELEMETRY_COUNT("nav.requests", 1);
-    TELEMETRY_COUNT("nav.nodes_expanded", expanded);
+    TELEMETRY_COUNT("nav.nodes_expanded", served.expanded);
     TELEMETRY_GAUGE("nav.queue_depth", static_cast<double>(backlog));
     latency_hist.add(served.latency_s);
 
     if (observer) observer(served);
     out.push_back(std::move(served));
   }
+  return out;
+}
+
+ConcurrentServeResult NavServer::serve_concurrent(
+    exec::ThreadPool& pool, const std::vector<Request>& requests,
+    const Policy& policy, std::size_t max_in_flight, const Observer& observer) {
+  ANTAREX_REQUIRE(policy != nullptr, "NavServer: null policy");
+  ANTAREX_REQUIRE(max_in_flight >= 1,
+                  "NavServer: serve_concurrent needs max_in_flight >= 1");
+  for (std::size_t i = 1; i < requests.size(); ++i)
+    ANTAREX_REQUIRE(requests[i].arrival_s >= requests[i - 1].arrival_s,
+                    "NavServer: requests must be sorted by arrival");
+
+  ConcurrentServeResult out;
+  out.served.resize(requests.size());
+  out.threads = pool.size();
+
+  auto& latency_hist =
+      telemetry::Registry::global().histogram("nav.latency_s", 0.0, 2.0, 40);
+
+  pool.reset_stats();
+  const auto t0 = std::chrono::steady_clock::now();
+
+  // Bounded admission window: futures for in-flight requests, collected
+  // strictly in submission order so the observer sequence is deterministic.
+  std::deque<std::pair<std::size_t, std::future<void>>> window;
+  auto collect_front = [&] {
+    auto [idx, fut] = std::move(window.front());
+    window.pop_front();
+    fut.get();  // rethrows if the routing computation threw
+    ServedRequest& served = out.served[idx];
+    served.latency_s = served.service_s;  // no virtual queue in this mode
+    TELEMETRY_COUNT("nav.requests", 1);
+    TELEMETRY_COUNT("nav.nodes_expanded", served.expanded);
+    latency_hist.add(served.latency_s);
+    if (observer) observer(served);
+  };
+
+  for (std::size_t i = 0; i < requests.size(); ++i) {
+    if (window.size() >= max_in_flight) collect_front();
+
+    // Backlog = in-flight count at admission. Depends only on i and
+    // max_in_flight, never on thread timing — knob decisions reproduce.
+    const std::size_t backlog = window.size();
+    const ServerKnobs knobs = policy(backlog, requests[i].arrival_s);
+    ANTAREX_REQUIRE(knobs.k_routes >= 1, "NavServer: policy produced k < 1");
+    TELEMETRY_GAUGE("nav.queue_depth", static_cast<double>(backlog));
+
+    ServedRequest& served = out.served[i];
+    served.request = requests[i];
+    served.knobs_used = knobs;
+
+    window.emplace_back(i, pool.async([this, &served, i, knobs, &requests] {
+      TELEMETRY_SPAN("nav.request");
+      compute_route(requests[i], knobs, served);
+    }));
+  }
+  while (!window.empty()) collect_front();
+
+  out.wall_s =
+      std::chrono::duration<double>(std::chrono::steady_clock::now() - t0)
+          .count();
+  out.steals = pool.stats().steals;
+  pool.publish_telemetry();
   return out;
 }
 

@@ -3,10 +3,19 @@
 // ANTAREX autotuner manages to keep the latency SLA under diurnal load
 // ("balancing data collection, big data analysis and extreme computational
 // power", paper Sec. VII-b).
+//
+// Two serving modes:
+//  - serve(): the original single-threaded virtual-time simulation (workers
+//    are a min-heap of next-free times). Fully deterministic including waits.
+//  - serve_concurrent(): requests actually execute on an exec::ThreadPool
+//    with a bounded in-flight window. Routing outcomes (expansions, quality,
+//    knobs, modelled service time) are byte-identical to serve() with the
+//    matching backlog sequence; wall-clock figures are measured.
 #pragma once
 
 #include <functional>
 
+#include "exec/pool.hpp"
 #include "nav/nav.hpp"
 
 namespace antarex::nav {
@@ -26,6 +35,15 @@ struct ServedRequest {
   double quality = 1.0;        ///< optimal_time / returned_time, in (0, 1]
   u64 expanded = 0;
   ServerKnobs knobs_used;
+};
+
+/// Outcome of serve_concurrent: per-request results in submission order plus
+/// measured execution figures from the pool.
+struct ConcurrentServeResult {
+  std::vector<ServedRequest> served;  ///< index order == request order
+  double wall_s = 0.0;                ///< measured wall-clock seconds
+  u64 steals = 0;                     ///< pool steals during the run
+  int threads = 1;
 };
 
 class NavServer {
@@ -50,7 +68,27 @@ class NavServer {
                                    const Policy& policy,
                                    const Observer& observer = nullptr);
 
+  /// Serve all requests on `pool`, at most `max_in_flight` outstanding at
+  /// once (bounded admission queue: when full, the oldest request is awaited
+  /// before the next is admitted). The policy's backlog input is the
+  /// in-flight count at admission — a deterministic sequence (min(i,
+  /// max_in_flight-1) once warm), so knob decisions and routing outcomes are
+  /// reproducible across thread counts; the observer fires in submission
+  /// order. queue_wait_s is 0 and latency_s equals the modelled service_s in
+  /// this mode — real waiting shows up in the measured wall_s.
+  ConcurrentServeResult serve_concurrent(exec::ThreadPool& pool,
+                                         const std::vector<Request>& requests,
+                                         const Policy& policy,
+                                         std::size_t max_in_flight = 64,
+                                         const Observer& observer = nullptr);
+
  private:
+  /// The per-request routing computation shared by both serving modes:
+  /// route (k alternatives if asked), expansion count, quality vs the exact
+  /// optimum. Pure — safe to run concurrently on const graph/profiles.
+  void compute_route(const Request& req, const ServerKnobs& knobs,
+                     ServedRequest& served) const;
+
   const RoadGraph& graph_;
   const SpeedProfiles& profiles_;
   double unit_cost_s_;

@@ -2,6 +2,7 @@
 
 #include <cmath>
 
+#include "exec/parallel.hpp"
 #include "passes/pass_manager.hpp"
 #include "support/strings.hpp"
 
@@ -61,6 +62,22 @@ Candidate IterativeCompiler::evaluate(const cir::Module& m, const Workload& w,
   return c;
 }
 
+std::vector<Candidate> IterativeCompiler::evaluate_all(
+    const cir::Module& m, const Workload& w,
+    const std::vector<std::string>& pipelines) const {
+  if (!pool_ || pipelines.size() < 2) {
+    std::vector<Candidate> out;
+    out.reserve(pipelines.size());
+    for (const auto& p : pipelines) out.push_back(evaluate(m, w, p));
+    return out;
+  }
+  // evaluate() is pure (clones the module, fresh Engine per run), so
+  // candidates are embarrassingly parallel; parallel_map keeps index order.
+  return exec::parallel_map<Candidate>(
+      *pool_, pipelines.size(), 1,
+      [&](std::size_t i) { return evaluate(m, w, pipelines[i]); });
+}
+
 IterativeResult IterativeCompiler::finalize(std::vector<Candidate> candidates,
                                             u64 baseline) const {
   IterativeResult out;
@@ -83,13 +100,13 @@ IterativeResult IterativeCompiler::explore_exhaustive(const cir::Module& m,
   ANTAREX_REQUIRE(max_len >= 1, "explore_exhaustive: max_len must be >= 1");
   const u64 baseline = run_baseline(m, w, nullptr);
 
-  std::vector<Candidate> candidates;
+  std::vector<std::string> pipelines;
   std::vector<std::size_t> seq;
   std::function<void()> recurse = [&]() {
     if (!seq.empty()) {
       std::vector<std::string> parts;
       for (std::size_t i : seq) parts.push_back(specs_[i]);
-      candidates.push_back(evaluate(m, w, join(parts, ",")));
+      pipelines.push_back(join(parts, ","));
     }
     if (static_cast<int>(seq.size()) == max_len) return;
     for (std::size_t i = 0; i < specs_.size(); ++i) {
@@ -102,7 +119,7 @@ IterativeResult IterativeCompiler::explore_exhaustive(const cir::Module& m,
     }
   };
   recurse();
-  return finalize(std::move(candidates), baseline);
+  return finalize(evaluate_all(m, w, pipelines), baseline);
 }
 
 IterativeResult IterativeCompiler::explore_random(const cir::Module& m,
@@ -111,14 +128,16 @@ IterativeResult IterativeCompiler::explore_random(const cir::Module& m,
   ANTAREX_REQUIRE(samples >= 1 && max_len >= 1,
                   "explore_random: samples and max_len must be >= 1");
   const u64 baseline = run_baseline(m, w, nullptr);
-  std::vector<Candidate> candidates;
+  // Draw all pipelines first: the rng sequence stays identical whether the
+  // evaluations then run serially or on the pool.
+  std::vector<std::string> pipelines;
   for (int s = 0; s < samples; ++s) {
     const int len = static_cast<int>(rng.uniform_int(1, max_len));
     std::vector<std::string> parts;
     for (int i = 0; i < len; ++i) parts.push_back(specs_[rng.index(specs_.size())]);
-    candidates.push_back(evaluate(m, w, join(parts, ",")));
+    pipelines.push_back(join(parts, ","));
   }
-  return finalize(std::move(candidates), baseline);
+  return finalize(evaluate_all(m, w, pipelines), baseline);
 }
 
 }  // namespace antarex::passes

@@ -14,6 +14,7 @@
 #include <vector>
 
 #include "cir/ast.hpp"
+#include "exec/pool.hpp"
 #include "support/rng.hpp"
 #include "vm/engine.hpp"
 
@@ -21,7 +22,9 @@ namespace antarex::passes {
 
 /// A measurement workload: entry point plus a factory producing fresh
 /// arguments per evaluation (array arguments are mutable buffers, so each
-/// candidate run must get its own copy).
+/// candidate run must get its own copy). When candidates are evaluated on a
+/// thread pool, make_args is called concurrently and must be thread-safe
+/// (a pure factory over captured-by-value inputs is).
 struct Workload {
   std::string entry;
   std::function<std::vector<vm::Value>()> make_args;
@@ -53,6 +56,13 @@ class IterativeCompiler {
   /// PassManager::known_specs().
   explicit IterativeCompiler(std::vector<std::string> specs = {});
 
+  /// Evaluate candidates on `pool` instead of serially (nullptr reverts).
+  /// Candidate lists are always generated serially (so explore_random draws
+  /// the same pipelines for any thread count) and results are collected in
+  /// candidate index order, so exploration results are byte-identical with
+  /// and without a pool.
+  void set_pool(exec::ThreadPool* pool) { pool_ = pool; }
+
   /// Evaluate one pipeline on a fresh clone of the module. Also verifies the
   /// transformed program still produces the baseline output (miscompilation
   /// guard); mismatching candidates are marked and never selected.
@@ -70,9 +80,12 @@ class IterativeCompiler {
 
  private:
   u64 run_baseline(const cir::Module& m, const Workload& w, vm::Value* out) const;
+  std::vector<Candidate> evaluate_all(const cir::Module& m, const Workload& w,
+                                      const std::vector<std::string>& pipelines) const;
   IterativeResult finalize(std::vector<Candidate> candidates, u64 baseline) const;
 
   std::vector<std::string> specs_;
+  exec::ThreadPool* pool_ = nullptr;
 };
 
 }  // namespace antarex::passes

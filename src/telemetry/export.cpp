@@ -62,7 +62,9 @@ std::string trace_event(const char* name, char phase, double ts_us) {
 
 std::string chrome_trace_json(const Registry& registry) {
   const TraceBuffer& buf = registry.trace();
-  const std::vector<TraceEvent>& events = buf.events();
+  // snapshot(), not events(): exporting may race with pool workers still
+  // emitting spans.
+  const std::vector<TraceEvent> events = buf.snapshot();
   const u64 t0 = events.empty() ? 0 : events.front().ts_ns;
 
   Joiner body;

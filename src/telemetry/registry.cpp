@@ -8,7 +8,7 @@ namespace antarex::telemetry {
 // --- Histogram --------------------------------------------------------------
 
 Histogram::Histogram(double lo, double hi, std::size_t bins)
-    : lo_(lo), hi_(hi), counts_(bins, 0) {
+    : lo_(lo), hi_(hi), counts_(bins) {
   ANTAREX_REQUIRE(bins > 0, "telemetry::Histogram: need at least one bucket");
   ANTAREX_REQUIRE(hi > lo, "telemetry::Histogram: empty value range");
 }
@@ -20,20 +20,31 @@ void Histogram::add(double x) {
       std::floor(frac * static_cast<double>(counts_.size())));
   idx = std::clamp<std::ptrdiff_t>(idx, 0,
                                    static_cast<std::ptrdiff_t>(counts_.size()) - 1);
-  ++counts_[static_cast<std::size_t>(idx)];
-  ++count_;
-  sum_ += x;
+  counts_[static_cast<std::size_t>(idx)].fetch_add(1, std::memory_order_relaxed);
+  count_.fetch_add(1, std::memory_order_relaxed);
+  // CAS loop: fetch_add on atomic<double> needs C++20 library support that
+  // not every baked-in toolchain ships; this is portable and contention here
+  // is low (histograms sit behind the enabled() gate).
+  double cur = sum_.load(std::memory_order_relaxed);
+  while (!sum_.compare_exchange_weak(cur, cur + x, std::memory_order_relaxed)) {
+  }
+}
+
+u64 Histogram::bucket(std::size_t i) const {
+  ANTAREX_REQUIRE(i < counts_.size(), "telemetry::Histogram: bucket out of range");
+  return counts_[i].load(std::memory_order_relaxed);
 }
 
 double Histogram::approx_percentile(double p) const {
   ANTAREX_REQUIRE(p >= 0.0 && p <= 100.0,
                   "telemetry::Histogram: percentile outside [0,100]");
-  if (count_ == 0) return 0.0;
+  const u64 n = count();
+  if (n == 0) return 0.0;
   const u64 rank = std::max<u64>(
-      1, static_cast<u64>(std::ceil(p / 100.0 * static_cast<double>(count_))));
+      1, static_cast<u64>(std::ceil(p / 100.0 * static_cast<double>(n))));
   u64 seen = 0;
   for (std::size_t i = 0; i < counts_.size(); ++i) {
-    seen += counts_[i];
+    seen += counts_[i].load(std::memory_order_relaxed);
     if (seen >= rank) {
       const double width = (hi_ - lo_) / static_cast<double>(counts_.size());
       return lo_ + (static_cast<double>(i) + 0.5) * width;
@@ -43,9 +54,9 @@ double Histogram::approx_percentile(double p) const {
 }
 
 void Histogram::reset() {
-  std::fill(counts_.begin(), counts_.end(), 0);
-  count_ = 0;
-  sum_ = 0.0;
+  for (auto& c : counts_) c.store(0, std::memory_order_relaxed);
+  count_.store(0, std::memory_order_relaxed);
+  sum_.store(0.0, std::memory_order_relaxed);
 }
 
 // --- Series -----------------------------------------------------------------
@@ -54,13 +65,45 @@ Series::Series(std::size_t window, double ewma_alpha)
     : window_(window), ewma_(ewma_alpha) {}
 
 void Series::push(double sample) {
+  std::lock_guard<std::mutex> lock(mu_);
   window_.add(sample);
   ewma_.add(sample);
   last_ = sample;
   ++total_;
 }
 
+std::size_t Series::count() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return total_;
+}
+
+double Series::last() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return last_;
+}
+
+double Series::window_mean() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return window_.mean();
+}
+
+double Series::window_percentile(double p) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return window_.percentile(p);
+}
+
+double Series::ewma() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return ewma_.value();
+}
+
+std::size_t Series::window_capacity() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return window_.capacity();
+}
+
 void Series::clear() {
+  std::lock_guard<std::mutex> lock(mu_);
   window_.clear();
   ewma_.clear();
   last_ = 0.0;
@@ -68,6 +111,7 @@ void Series::clear() {
 }
 
 void Series::reset_window(std::size_t window) {
+  std::lock_guard<std::mutex> lock(mu_);
   window_ = SlidingWindow(window);
   ewma_.clear();
   last_ = 0.0;

@@ -4,12 +4,21 @@
 // Hot-path contract: instrument sites cache the reference returned by
 // counter()/gauge()/histogram() (the TELEMETRY_* macros do this with a
 // function-local static), so the map lookup happens once per site and each
-// update is an enabled() branch plus one store/add. Registration is
-// mutex-guarded; updates are not (the simulators are single-threaded by
-// design — see support/sim_clock.hpp), except counters, which are relaxed
-// atomics so concurrent readers (exporters) never tear.
+// update is an enabled() branch plus a handful of relaxed atomic ops.
+//
+// Concurrency contract (hardened for the antarex::exec worker pool): every
+// registry operation is safe from any thread. Registration/first-touch is
+// mutex-guarded (and the macros' function-local statics are C++ magic
+// statics, so concurrent first-touch of one site initializes exactly once);
+// Counter/Gauge/Histogram updates are lock-free atomics; Series and the
+// trace buffer take a private mutex (they hold non-trivial state). reset()
+// zeroes metrics in place and never destroys them, so cached references stay
+// valid even when reset() races with updates — a racing update may land
+// before or after the zeroing, but never corrupts.
 #pragma once
 
+#include <atomic>
+#include <limits>
 #include <map>
 #include <memory>
 #include <mutex>
@@ -38,32 +47,54 @@ class Counter {
   std::atomic<u64> value_{0};
 };
 
-/// Last-value metric with min/max envelope (queue depths, power draw, ...).
+/// Last-value metric with min/max envelope (queue depths, power draw,
+/// per-worker busy time, ...). Concurrent set() keeps the envelope exact via
+/// CAS; "last" is whichever store won.
 class Gauge {
  public:
   void set(double v) {
     if (!enabled()) return;
-    last_ = v;
-    if (updates_ == 0 || v < min_) min_ = v;
-    if (updates_ == 0 || v > max_) max_ = v;
-    ++updates_;
+    last_.store(v, std::memory_order_relaxed);
+    cas_min(min_, v);
+    cas_max(max_, v);
+    updates_.fetch_add(1, std::memory_order_relaxed);
   }
-  double last() const { return last_; }
-  double min() const { return min_; }
-  double max() const { return max_; }
-  u64 updates() const { return updates_; }
-  void reset() { last_ = min_ = max_ = 0.0; updates_ = 0; }
+  double last() const { return last_.load(std::memory_order_relaxed); }
+  double min() const { return updates() ? min_.load(std::memory_order_relaxed) : 0.0; }
+  double max() const { return updates() ? max_.load(std::memory_order_relaxed) : 0.0; }
+  u64 updates() const { return updates_.load(std::memory_order_relaxed); }
+  void reset() {
+    last_.store(0.0, std::memory_order_relaxed);
+    min_.store(std::numeric_limits<double>::infinity(), std::memory_order_relaxed);
+    max_.store(-std::numeric_limits<double>::infinity(), std::memory_order_relaxed);
+    updates_.store(0, std::memory_order_relaxed);
+  }
 
  private:
-  double last_ = 0.0;
-  double min_ = 0.0;
-  double max_ = 0.0;
-  u64 updates_ = 0;
+  static void cas_min(std::atomic<double>& slot, double v) {
+    double cur = slot.load(std::memory_order_relaxed);
+    while (v < cur &&
+           !slot.compare_exchange_weak(cur, v, std::memory_order_relaxed)) {
+    }
+  }
+  static void cas_max(std::atomic<double>& slot, double v) {
+    double cur = slot.load(std::memory_order_relaxed);
+    while (v > cur &&
+           !slot.compare_exchange_weak(cur, v, std::memory_order_relaxed)) {
+    }
+  }
+
+  std::atomic<double> last_{0.0};
+  std::atomic<double> min_{std::numeric_limits<double>::infinity()};
+  std::atomic<double> max_{-std::numeric_limits<double>::infinity()};
+  std::atomic<u64> updates_{0};
 };
 
 /// Fixed-range, fixed-bucket histogram (out-of-range values clamp to the
 /// edge buckets). Tracks sum/count for exact means; percentiles are bucket
-/// approximations (nearest-rank over bucket midpoints).
+/// approximations (nearest-rank over bucket midpoints). Buckets and totals
+/// are atomics, so concurrent add() never tears; a snapshot taken mid-add
+/// may see the bucket before the total (observability skew, not corruption).
 class Histogram {
  public:
   Histogram(double lo, double hi, std::size_t bins);
@@ -73,39 +104,43 @@ class Histogram {
   double lo() const { return lo_; }
   double hi() const { return hi_; }
   std::size_t bins() const { return counts_.size(); }
-  u64 bucket(std::size_t i) const { return counts_.at(i); }
-  u64 count() const { return count_; }
-  double sum() const { return sum_; }
-  double mean() const { return count_ ? sum_ / static_cast<double>(count_) : 0.0; }
+  u64 bucket(std::size_t i) const;
+  u64 count() const { return count_.load(std::memory_order_relaxed); }
+  double sum() const { return sum_.load(std::memory_order_relaxed); }
+  double mean() const {
+    const u64 n = count();
+    return n ? sum() / static_cast<double>(n) : 0.0;
+  }
   /// Approximate percentile in [0,100]: midpoint of the nearest-rank bucket.
   double approx_percentile(double p) const;
   void reset();
 
  private:
   double lo_, hi_;
-  std::vector<u64> counts_;
-  u64 count_ = 0;
-  double sum_ = 0.0;
+  std::vector<std::atomic<u64>> counts_;
+  std::atomic<u64> count_{0};
+  std::atomic<double> sum_{0.0};
 };
 
 /// A named sample stream with windowed statistics — the registry-resident
 /// backend of tuner::Monitor. NOT gated by enabled(): monitors feed the
 /// autotuner's control loop, so dropping samples would change behaviour,
 /// not just visibility. Built on the single rolling-stats implementation in
-/// support/stats (SlidingWindow + Ewma).
+/// support/stats (SlidingWindow + Ewma), guarded by a private mutex because
+/// the window holds non-trivial state.
 class Series {
  public:
   explicit Series(std::size_t window = 64, double ewma_alpha = 0.25);
 
   void push(double sample);
 
-  std::size_t count() const { return total_; }
-  bool empty() const { return total_ == 0; }
-  double last() const { return last_; }
-  double window_mean() const { return window_.mean(); }
-  double window_percentile(double p) const { return window_.percentile(p); }
-  double ewma() const { return ewma_.value(); }
-  std::size_t window_capacity() const { return window_.capacity(); }
+  std::size_t count() const;
+  bool empty() const { return count() == 0; }
+  double last() const;
+  double window_mean() const;
+  double window_percentile(double p) const;
+  double ewma() const;
+  std::size_t window_capacity() const;
 
   void clear();
   /// Re-shape the rolling window in place (clears held samples). Keeps the
@@ -113,6 +148,7 @@ class Series {
   void reset_window(std::size_t window);
 
  private:
+  mutable std::mutex mu_;
   SlidingWindow window_;
   Ewma ewma_;
   double last_ = 0.0;
@@ -127,8 +163,8 @@ class Registry {
   /// Intentionally leaked: spans may fire during static destruction.
   static Registry& global();
 
-  // Get-or-create by name. References/pointers remain valid for the life of
-  // the registry (node-based storage).
+  // Get-or-create by name, from any thread. References/pointers remain valid
+  // for the life of the registry (node-based storage).
   Counter& counter(const std::string& name);
   Gauge& gauge(const std::string& name);
   /// lo/hi/bins apply on first creation only.

@@ -24,22 +24,49 @@ TraceBuffer::TraceBuffer(std::size_t capacity)
 }
 
 void TraceBuffer::push(const char* name, char phase) {
+  // Stamp outside the lock: timestamps come from the (possibly swapped)
+  // now_fn_, and holding the mutex across it would serialize clock reads.
+  const u64 ts = now_fn_();
+  std::lock_guard<std::mutex> lock(mu_);
   if (events_.size() >= capacity_) {
     ++dropped_;
     return;
   }
-  events_.push_back(TraceEvent{name, now_fn_(), phase});
+  events_.push_back(TraceEvent{name, ts, phase});
+}
+
+std::vector<TraceEvent> TraceBuffer::snapshot() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return events_;
+}
+
+std::size_t TraceBuffer::size() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return events_.size();
+}
+
+std::size_t TraceBuffer::capacity() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return capacity_;
+}
+
+u64 TraceBuffer::dropped() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return dropped_;
 }
 
 void TraceBuffer::clear() {
+  std::lock_guard<std::mutex> lock(mu_);
   events_.clear();
   dropped_ = 0;
 }
 
 void TraceBuffer::set_capacity(std::size_t capacity) {
   ANTAREX_REQUIRE(capacity > 0, "TraceBuffer: need a positive capacity");
+  std::lock_guard<std::mutex> lock(mu_);
   capacity_ = capacity;
-  clear();
+  events_.clear();
+  dropped_ = 0;
 }
 
 void TraceBuffer::set_now_fn(NowFn fn) {

@@ -1,13 +1,14 @@
 // Trace spans: hierarchical begin/end events in a bounded buffer.
 //
 // A ScopedSpan pushes a 'B' event at construction and an 'E' event at
-// destruction, so the buffer is chronologically ordered and properly nested
-// by construction (RAII). When the buffer is full, new events are dropped and
-// counted — the exporter and the metrics dump both report the drop counter,
-// so a truncated trace is never mistaken for a complete one.
+// destruction, so each thread's events are chronologically ordered and
+// properly nested by construction (RAII). When the buffer is full, new events
+// are dropped and counted — the exporter and the metrics dump both report the
+// drop counter, so a truncated trace is never mistaken for a complete one.
 #pragma once
 
 #include <cstddef>
+#include <mutex>
 #include <vector>
 
 #include "support/common.hpp"
@@ -23,8 +24,11 @@ struct TraceEvent {
   char phase;        ///< 'B' (begin) or 'E' (end)
 };
 
-/// Bounded event buffer with drop accounting. Single-threaded like the rest
-/// of the simulation stack; the enabled() gate lives in the span, not here.
+/// Bounded event buffer with drop accounting. Safe for concurrent writers
+/// (exec pool workers emit task spans): push/clear/size take a private mutex,
+/// exporters read through snapshot(). events() returns the raw vector without
+/// locking — valid only when no other thread is pushing (tests, post-run
+/// inspection); concurrent readers must use snapshot().
 class TraceBuffer {
  public:
   static constexpr std::size_t kDefaultCapacity = 1 << 16;
@@ -34,9 +38,11 @@ class TraceBuffer {
   void push(const char* name, char phase);
 
   const std::vector<TraceEvent>& events() const { return events_; }
-  std::size_t size() const { return events_.size(); }
-  std::size_t capacity() const { return capacity_; }
-  u64 dropped() const { return dropped_; }
+  /// Locked copy of the buffer — the only safe read while writers are live.
+  std::vector<TraceEvent> snapshot() const;
+  std::size_t size() const;
+  std::size_t capacity() const;
+  u64 dropped() const;
   void clear();
 
   /// Shrink/grow the bound (clears the buffer; tests use tiny capacities).
@@ -49,6 +55,7 @@ class TraceBuffer {
   u64 now_ns() const { return now_fn_(); }
 
  private:
+  mutable std::mutex mu_;
   std::size_t capacity_;
   std::vector<TraceEvent> events_;
   u64 dropped_ = 0;

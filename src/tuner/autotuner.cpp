@@ -35,6 +35,40 @@ void Autotuner::report(const std::map<std::string, double>& metrics) {
   TELEMETRY_SPAN("tuner.report");
   ANTAREX_REQUIRE(awaiting_report_,
                   "Autotuner: report() without a preceding next_configuration()");
+  observe_one(current_, metrics);
+  awaiting_report_ = false;
+}
+
+std::vector<Configuration> Autotuner::next_batch(std::size_t k) {
+  ANTAREX_REQUIRE(k >= 1, "Autotuner: next_batch needs k >= 1");
+  ANTAREX_REQUIRE(!awaiting_report_ && pending_batch_.empty(),
+                  "Autotuner: next_batch() while a report is outstanding");
+  TELEMETRY_SPAN("tuner.decide");
+  pending_batch_.reserve(k);
+  for (std::size_t i = 0; i < k; ++i) {
+    Configuration c = strategy_->next(space_, knowledge_, config_.objective,
+                                      config_.minimize, rng_);
+    ANTAREX_CHECK(space_.valid(c), "Autotuner: strategy produced an "
+                                   "invalid configuration");
+    pending_batch_.push_back(std::move(c));
+  }
+  return pending_batch_;
+}
+
+void Autotuner::report_batch(
+    const std::vector<std::map<std::string, double>>& metrics) {
+  TELEMETRY_SPAN("tuner.report");
+  ANTAREX_REQUIRE(!pending_batch_.empty(),
+                  "Autotuner: report_batch() without a preceding next_batch()");
+  ANTAREX_REQUIRE(metrics.size() == pending_batch_.size(),
+                  "Autotuner: report_batch() size does not match next_batch()");
+  for (std::size_t i = 0; i < metrics.size(); ++i)
+    observe_one(pending_batch_[i], metrics[i]);
+  pending_batch_.clear();
+}
+
+void Autotuner::observe_one(const Configuration& config,
+                            const std::map<std::string, double>& metrics) {
   auto it = metrics.find(config_.objective);
   ANTAREX_REQUIRE(it != metrics.end(),
                   "Autotuner: metrics missing objective '" + config_.objective + "'");
@@ -43,9 +77,9 @@ void Autotuner::report(const std::map<std::string, double>& metrics) {
   TELEMETRY_GAUGE("tuner.objective", y);
 
   // Phase-change detection against learned knowledge.
-  const auto learned = knowledge_.mean(current_, config_.objective);
+  const auto learned = knowledge_.mean(config, config_.objective);
   if (learned) TELEMETRY_COUNT("tuner.kb_hits", 1);
-  if (learned && knowledge_.samples(current_) >= config_.min_samples_for_phase) {
+  if (learned && knowledge_.samples(config) >= config_.min_samples_for_phase) {
     const double denom = std::max(1e-12, std::fabs(*learned));
     if (std::fabs(y - *learned) / denom > config_.phase_threshold) {
       if (++phase_suspicion_ >= config_.phase_confirm) {
@@ -61,12 +95,11 @@ void Autotuner::report(const std::map<std::string, double>& metrics) {
   }
 
   Measurement m;
-  m.config = current_;
+  m.config = config;
   m.metrics = metrics;
   knowledge_.observe(m);
-  strategy_->observe(space_, current_, y);
+  strategy_->observe(space_, config, y);
 
-  awaiting_report_ = false;
   ++iterations_;
 }
 

@@ -13,6 +13,7 @@
 #include <memory>
 #include <optional>
 #include <string>
+#include <vector>
 
 #include "support/rng.hpp"
 #include "tuner/knowledge.hpp"
@@ -48,6 +49,18 @@ class Autotuner {
   /// returned by the latest next_configuration().
   void report(const std::map<std::string, double>& metrics);
 
+  /// Decide + act for a batch: k configurations to evaluate concurrently
+  /// (e.g. on an exec::ThreadPool). Strategies make k successive decisions
+  /// against the same knowledge; FullSearch's cursor keeps them distinct
+  /// while sweeping. Must be paired with report_batch().
+  std::vector<Configuration> next_batch(std::size_t k);
+
+  /// Collect + analyse for a batch: metrics[i] was measured under the i-th
+  /// configuration of the preceding next_batch(). Observations fold in batch
+  /// order regardless of which thread finished first, so the learned state
+  /// is deterministic for any evaluation schedule.
+  void report_batch(const std::vector<std::map<std::string, double>>& metrics);
+
   const DesignSpace& space() const { return space_; }
   DesignSpace& space() { return space_; }
   const Knowledge& knowledge() const { return knowledge_; }
@@ -68,6 +81,10 @@ class Autotuner {
   std::size_t phase_changes() const { return phase_changes_; }
 
  private:
+  /// The shared collect+analyse path behind report() and report_batch().
+  void observe_one(const Configuration& config,
+                   const std::map<std::string, double>& metrics);
+
   DesignSpace space_;
   std::unique_ptr<Strategy> strategy_;
   AutotunerConfig config_;
@@ -75,6 +92,7 @@ class Autotuner {
   Knowledge knowledge_;
 
   Configuration current_;
+  std::vector<Configuration> pending_batch_;
   bool awaiting_report_ = false;
   std::size_t iterations_ = 0;
   int phase_suspicion_ = 0;

@@ -6,6 +6,7 @@
 #include <cmath>
 
 #include "dock/dock.hpp"
+#include "dock/parallel.hpp"
 #include "support/stats.hpp"
 
 namespace antarex::dock {
@@ -270,6 +271,54 @@ TEST(Schedule, ValidatesArguments) {
   EXPECT_THROW(schedule_dynamic({1.0}, 0), Error);
   EXPECT_THROW(schedule_dynamic({1.0}, 1, 0), Error);
   EXPECT_THROW(schedule_dynamic({1.0}, 1, 1, -0.1), Error);
+}
+
+// --------------------------------------------------------------------------
+// Measured parallel docking (exec pool)
+// --------------------------------------------------------------------------
+
+TEST(ParallelDock, ByteIdenticalToSerialAcrossThreadCounts) {
+  Rng rng(2024);
+  const AffinityGrid grid = AffinityGrid::synthetic_pocket(rng, 16, 1.0, 2);
+  std::vector<Molecule> ligands;
+  for (int i = 0; i < 24; ++i) ligands.push_back(random_ligand(rng, 8, 60));
+  DockParams params;
+  params.rotations = 6;
+  params.translations = 12;
+  const u64 run_seed = 7;
+
+  const LibraryRunResult serial =
+      dock_library_serial(grid, ligands, params, run_seed);
+  ASSERT_EQ(serial.results.size(), ligands.size());
+
+  for (int threads : {1, 2, 8}) {
+    exec::ThreadPool pool(threads);
+    for (int batch : {1, 4}) {
+      const LibraryRunResult par =
+          run_parallel(pool, grid, ligands, params, run_seed, batch);
+      ASSERT_EQ(par.results.size(), serial.results.size());
+      for (std::size_t i = 0; i < serial.results.size(); ++i) {
+        // Exact equality: the determinism contract, not a tolerance check.
+        EXPECT_EQ(par.results[i].best_score, serial.results[i].best_score)
+            << "threads=" << threads << " batch=" << batch << " ligand=" << i;
+        EXPECT_EQ(par.results[i].poses_evaluated,
+                  serial.results[i].poses_evaluated);
+        EXPECT_EQ(par.results[i].best_pose.tx, serial.results[i].best_pose.tx);
+        EXPECT_EQ(par.results[i].best_pose.rz, serial.results[i].best_pose.rz);
+      }
+      EXPECT_EQ(par.threads, threads);
+      EXPECT_EQ(par.batch, batch);
+      EXPECT_EQ(static_cast<int>(par.worker_busy_s.size()), threads);
+      EXPECT_GE(par.imbalance, 1.0);
+    }
+  }
+}
+
+TEST(ParallelDock, RejectsNonPositiveBatch) {
+  Rng rng(3);
+  const AffinityGrid grid = AffinityGrid::synthetic_pocket(rng, 8, 1.0, 1);
+  exec::ThreadPool pool(1);
+  EXPECT_THROW(run_parallel(pool, grid, {}, DockParams{}, 1, 0), Error);
 }
 
 }  // namespace

@@ -376,6 +376,74 @@ TEST_F(ServerTest, AdaptivePolicyShedsLoadUnderBacklog) {
   EXPECT_LT(p95(adaptive), p95(fixed));
 }
 
+TEST_F(ServerTest, ConcurrentServeIsDeterministicAcrossThreadCounts) {
+  NavServer server(graph_, profiles_, 2e-6, 2);
+  const auto reqs = load(0.5);
+  ASSERT_FALSE(reqs.empty());
+
+  // Reference run at one thread; routing outcomes must match exactly at any
+  // other thread count (backlog sequence depends only on the window bound).
+  exec::ThreadPool ref_pool(1);
+  const ConcurrentServeResult ref = server.serve_concurrent(
+      ref_pool, reqs,
+      [](std::size_t backlog, double) {
+        // Backlog-sensitive policy on purpose: exercises the deterministic
+        // admission-window backlog.
+        return ServerKnobs{{true, backlog > 4 ? 1.3 : 1.0}, 1};
+      },
+      8);
+  EXPECT_EQ(ref.served.size(), reqs.size());
+  EXPECT_EQ(ref.threads, 1);
+
+  for (int threads : {2, 8}) {
+    exec::ThreadPool pool(threads);
+    const ConcurrentServeResult r = server.serve_concurrent(
+        pool, reqs,
+        [](std::size_t backlog, double) {
+          return ServerKnobs{{true, backlog > 4 ? 1.3 : 1.0}, 1};
+        },
+        8);
+    ASSERT_EQ(r.served.size(), ref.served.size());
+    for (std::size_t i = 0; i < r.served.size(); ++i) {
+      EXPECT_EQ(r.served[i].expanded, ref.served[i].expanded) << i;
+      EXPECT_EQ(r.served[i].quality, ref.served[i].quality) << i;
+      EXPECT_EQ(r.served[i].service_s, ref.served[i].service_s) << i;
+      EXPECT_EQ(r.served[i].knobs_used.opts.epsilon,
+                ref.served[i].knobs_used.opts.epsilon)
+          << i;
+    }
+    EXPECT_EQ(r.threads, threads);
+    EXPECT_GT(r.wall_s, 0.0);
+  }
+}
+
+TEST_F(ServerTest, ConcurrentServeObserverFiresInSubmissionOrder) {
+  NavServer server(graph_, profiles_, 2e-6, 2);
+  const auto reqs = load(0.5, 300.0);
+  exec::ThreadPool pool(4);
+  std::vector<double> arrivals;
+  server.serve_concurrent(
+      pool, reqs,
+      [](std::size_t, double) { return ServerKnobs{{true, 1.0}, 1}; }, 4,
+      [&arrivals](const ServedRequest& s) {
+        arrivals.push_back(s.request.arrival_s);
+      });
+  ASSERT_EQ(arrivals.size(), reqs.size());
+  for (std::size_t i = 0; i < arrivals.size(); ++i)
+    EXPECT_EQ(arrivals[i], reqs[i].arrival_s) << i;
+}
+
+TEST_F(ServerTest, ConcurrentServeValidatesArguments) {
+  NavServer server(graph_, profiles_);
+  exec::ThreadPool pool(1);
+  const auto reqs = load(0.2, 120.0);
+  EXPECT_THROW(
+      server.serve_concurrent(
+          pool, reqs,
+          [](std::size_t, double) { return ServerKnobs{{true, 1.0}, 1}; }, 0),
+      Error);
+}
+
 TEST_F(ServerTest, RejectsUnsortedRequests) {
   NavServer server(graph_, profiles_);
   std::vector<Request> bad{{10.0, 0, 1}, {5.0, 1, 2}};

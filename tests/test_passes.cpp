@@ -563,6 +563,37 @@ TEST_F(IterativeTest, RandomSearchIsDeterministicGivenSeed) {
   }
 }
 
+TEST_F(IterativeTest, PooledExplorationMatchesSerialExactly) {
+  IterativeCompiler serial_ic({"fold", "dce", "unroll", "strength"});
+  const IterativeResult serial =
+      serial_ic.explore_exhaustive(*module_, workload_, 2);
+
+  for (int threads : {1, 2, 8}) {
+    exec::ThreadPool pool(threads);
+    IterativeCompiler ic({"fold", "dce", "unroll", "strength"});
+    ic.set_pool(&pool);
+
+    const IterativeResult r = ic.explore_exhaustive(*module_, workload_, 2);
+    EXPECT_EQ(r.best_pipeline, serial.best_pipeline) << "threads=" << threads;
+    EXPECT_EQ(r.best_instructions, serial.best_instructions);
+    ASSERT_EQ(r.evaluated.size(), serial.evaluated.size());
+    for (std::size_t i = 0; i < r.evaluated.size(); ++i) {
+      EXPECT_EQ(r.evaluated[i].pipeline, serial.evaluated[i].pipeline);
+      EXPECT_EQ(r.evaluated[i].instructions, serial.evaluated[i].instructions);
+    }
+
+    // Random search must also draw the same pipelines with a pool attached.
+    Rng rng_serial(42), rng_pooled(42);
+    IterativeCompiler ic2;
+    const auto rs = ic2.explore_random(*module_, workload_, 8, 2, rng_serial);
+    ic2.set_pool(&pool);
+    const auto rp = ic2.explore_random(*module_, workload_, 8, 2, rng_pooled);
+    ASSERT_EQ(rs.evaluated.size(), rp.evaluated.size());
+    for (std::size_t i = 0; i < rs.evaluated.size(); ++i)
+      EXPECT_EQ(rs.evaluated[i].pipeline, rp.evaluated[i].pipeline);
+  }
+}
+
 TEST_F(IterativeTest, BaselineIsBestWhenNothingHelps) {
   auto m = parse_module("int id(int x) { return x; }");
   Workload w{"id", [] { return std::vector<Value>{Value::from_int(1)}; }};

@@ -5,6 +5,7 @@
 
 #include <cctype>
 #include <string>
+#include <thread>
 #include <vector>
 
 #include "rtrm/cluster.hpp"
@@ -455,6 +456,70 @@ TEST_F(TelemetryTest, InstrumentedClusterRunExportsValidTrace) {
   const std::string metrics = telemetry::metrics_json();
   EXPECT_TRUE(json_valid(metrics));
   EXPECT_NE(metrics.find("rtrm.jobs.completed"), std::string::npos);
+}
+
+// --------------------------------------------------------------------------
+// Concurrent writers (the exec-pool contract; run under TSan in CI)
+// --------------------------------------------------------------------------
+
+TEST_F(TelemetryTest, ConcurrentHammerKeepsExactTotals) {
+  constexpr int kThreads = 8;
+  constexpr int kIters = 2000;
+
+  auto& reg = Registry::global();
+  std::vector<std::thread> threads;
+  threads.reserve(kThreads);
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([t, &reg] {
+      for (int i = 0; i < kIters; ++i) {
+        // First-touch registration races on purpose: every thread resolves
+        // the same names through get-or-create and the macros' magic statics.
+        TELEMETRY_COUNT("hammer.counter", 1);
+        TELEMETRY_GAUGE("hammer.gauge", static_cast<double>(t * kIters + i));
+        reg.histogram("hammer.hist", 0.0, 1.0, 8)
+            .add(static_cast<double>(i % 10) / 10.0);
+        reg.series("hammer.series", 32).push(static_cast<double>(i));
+        TELEMETRY_SPAN("hammer.span");
+      }
+    });
+  }
+  for (auto& th : threads) th.join();
+
+  // Lock-free counters/histograms lose nothing.
+  constexpr u64 kTotal = static_cast<u64>(kThreads) * kIters;
+  EXPECT_EQ(reg.counter("hammer.counter").value(), kTotal);
+  EXPECT_EQ(reg.histogram("hammer.hist", 0.0, 1.0, 8).count(), kTotal);
+  u64 bucket_total = 0;
+  const auto& h = reg.histogram("hammer.hist", 0.0, 1.0, 8);
+  for (std::size_t b = 0; b < h.bins(); ++b) bucket_total += h.bucket(b);
+  EXPECT_EQ(bucket_total, kTotal);
+
+  // Gauge envelope spans the full written range; update count is exact.
+  const auto& g = reg.gauge("hammer.gauge");
+  EXPECT_EQ(g.updates(), kTotal);
+  EXPECT_DOUBLE_EQ(g.min(), 0.0);
+  EXPECT_DOUBLE_EQ(g.max(), static_cast<double>(kTotal - 1));
+
+  EXPECT_EQ(reg.series("hammer.series", 32).count(), kTotal);
+
+  // Trace: every event either recorded or counted as dropped, never lost.
+  EXPECT_EQ(static_cast<u64>(reg.trace().size()) + reg.trace().dropped(),
+            2 * kTotal);
+  const auto snap = reg.trace().snapshot();
+  EXPECT_EQ(snap.size(), reg.trace().size());
+}
+
+TEST_F(TelemetryTest, ConcurrentResetNeverCorrupts) {
+  // reset() racing updates must leave metrics usable (values may be partial,
+  // that is fine — this is the cached-reference survival guarantee).
+  auto& c = Registry::global().counter("hammer.reset_counter");
+  std::thread writer([&c] {
+    for (int i = 0; i < 20000; ++i) c.add(1);
+  });
+  for (int i = 0; i < 50; ++i) Registry::global().reset();
+  writer.join();
+  c.add(1);
+  EXPECT_GE(c.value(), 1u);
 }
 
 }  // namespace

@@ -348,6 +348,57 @@ TEST(AutotunerLoop, GreyBoxAnnotationSpeedsConvergence) {
             samples_to_optimum(two_knob_space()));
 }
 
+TEST(AutotunerLoop, BatchedEvaluationMatchesSequentialFullSearch) {
+  // A batch of k distinct full-search decisions reported in batch order must
+  // learn the same knowledge as k sequential next/report iterations.
+  Autotuner seq(two_knob_space(), std::make_unique<FullSearchStrategy>());
+  Autotuner batched(two_knob_space(), std::make_unique<FullSearchStrategy>());
+  FakeApp app_seq, app_batch;
+
+  constexpr std::size_t kBatch = 4;
+  for (int round = 0; round < 5; ++round) {
+    for (std::size_t i = 0; i < kBatch; ++i) {
+      const Configuration& c = seq.next_configuration();
+      seq.report(app_seq.run(seq.space(), c));
+    }
+
+    const std::vector<Configuration> batch = batched.next_batch(kBatch);
+    ASSERT_EQ(batch.size(), kBatch);
+    // FullSearch's cursor yields distinct configurations within a batch
+    // while the space is still being swept.
+    if (round == 0) {
+      for (std::size_t i = 1; i < batch.size(); ++i)
+        EXPECT_NE(batch[i], batch[0]);
+    }
+    std::vector<std::map<std::string, double>> metrics;
+    for (const Configuration& c : batch)
+      metrics.push_back(app_batch.run(batched.space(), c));
+    batched.report_batch(metrics);
+  }
+
+  EXPECT_EQ(seq.iterations(), batched.iterations());
+  const auto best_seq = seq.best();
+  const auto best_batch = batched.best();
+  ASSERT_TRUE(best_seq.has_value());
+  ASSERT_TRUE(best_batch.has_value());
+  EXPECT_EQ(*best_seq, *best_batch);
+}
+
+TEST(AutotunerLoop, BatchApiValidatesPairing) {
+  Autotuner tuner(two_knob_space(), std::make_unique<FullSearchStrategy>());
+  EXPECT_THROW(tuner.report_batch({{{"time_s", 1.0}}}), Error);
+  EXPECT_THROW(tuner.next_batch(0), Error);
+
+  const auto batch = tuner.next_batch(3);
+  // Wrong-size report and interleaved single-shot calls are rejected.
+  EXPECT_THROW(tuner.report_batch({{{"time_s", 1.0}}}), Error);
+  EXPECT_THROW(tuner.next_batch(2), Error);
+  std::vector<std::map<std::string, double>> metrics(batch.size(),
+                                                     {{"time_s", 1.0}});
+  tuner.report_batch(metrics);
+  EXPECT_EQ(tuner.iterations(), 3u);
+}
+
 TEST(AutotunerLoop, ReportWithoutNextThrows) {
   Autotuner tuner(two_knob_space(), std::make_unique<FullSearchStrategy>());
   EXPECT_THROW(tuner.report({{"time_s", 1.0}}), Error);

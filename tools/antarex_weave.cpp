@@ -3,9 +3,13 @@
 // Subcommands:
 //   weave   <app.c> <strategy.lara> <Aspect> [inputs...]   S2S: print woven source
 //   run     <app.c> <entry> [int args...]                  execute on the VM
-//   explore <app.c> <entry> [int args...]                  iterative compilation
+//   explore [--threads N] <app.c> <entry> [int args...]    iterative compilation
 //   disasm  <app.c> <function>                             show VM bytecode
 //   check   <app.c>                                        semantic diagnostics
+//
+// `explore` evaluates candidate pipelines on an antarex::exec thread pool;
+// --threads N sets the worker count (default: hardware concurrency). Results
+// are bit-identical for every N — see README "Parallel execution".
 //
 // Aspect inputs are passed as strings when quoted ('...'), numbers otherwise.
 // `run` array parameters are not supported from the CLI; use the examples for
@@ -21,6 +25,7 @@
 #include "cir/parser.hpp"
 #include "cir/printer.hpp"
 #include "dsl/weaver.hpp"
+#include "exec/pool.hpp"
 #include "passes/iterative.hpp"
 #include "support/strings.hpp"
 #include "vm/compiler.hpp"
@@ -43,7 +48,7 @@ int usage() {
       "usage: antarex-weave <command> ...\n"
       "  weave   <app.c> <strategy.lara> <Aspect> [inputs...]\n"
       "  run     <app.c> <entry> [int args...]\n"
-      "  explore <app.c> <entry> [int args...]\n"
+      "  explore [--threads N] <app.c> <entry> [int args...]\n"
       "  disasm  <app.c> <function>\n"
       "  check   <app.c>\n",
       stderr);
@@ -103,6 +108,13 @@ int cmd_run(int argc, char** argv) {
 }
 
 int cmd_explore(int argc, char** argv) {
+  int threads = exec::ThreadPool::hardware_threads();
+  if (argc >= 2 && std::strcmp(argv[0], "--threads") == 0) {
+    const long v = std::strtol(argv[1], nullptr, 10);
+    if (v > 0) threads = static_cast<int>(v);
+    argc -= 2;
+    argv += 2;
+  }
   if (argc < 2) return usage();
   auto module = cir::parse_module(read_file(argv[0]));
   const std::string entry = argv[1];
@@ -116,8 +128,11 @@ int cmd_explore(int argc, char** argv) {
     for (i64 v : int_args) out.push_back(vm::Value::from_int(v));
     return out;
   };
+  exec::ThreadPool pool(threads);
   passes::IterativeCompiler explorer;
+  explorer.set_pool(&pool);
   const passes::IterativeResult r = explorer.explore_exhaustive(*module, workload, 2);
+  std::printf("threads:  %d\n", threads);
   std::printf("baseline: %llu instructions\n",
               static_cast<unsigned long long>(r.baseline_instructions));
   std::printf("best:     %llu instructions  (pipeline '%s', %.2fx)\n",
