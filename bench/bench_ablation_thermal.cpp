@@ -60,7 +60,8 @@ Pick best_pick(const PowerModel& pm, const WorkloadModel& w, double base_w,
 
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
+  bench::parse_telemetry(argc, argv);
   bench::header("ABL-THERM",
                 "ablating thermal feedback and base power from the node model");
 

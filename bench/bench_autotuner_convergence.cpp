@@ -61,7 +61,8 @@ int samples_to_near_optimal(Autotuner& tuner, bool shifted, int budget) {
 
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
+  bench::parse_telemetry(argc, argv);
   bench::header("CLAIM-SLA", "grey-box autotuner: convergence & adaptation");
 
   const int budget = 200;

@@ -13,10 +13,11 @@
 #include "bench_common.hpp"
 #include "power/model.hpp"
 
-int main() {
+int main(int argc, char** argv) {
   using namespace antarex;
   using namespace antarex::power;
 
+  bench::parse_telemetry(argc, argv);
   bench::header("CLAIM-DVFS",
                 "optimal operating point vs default governor (node energy)");
 
@@ -65,6 +66,9 @@ int main() {
     t.add_row({app.name, format("%.1f", e_default), format("%.1f", e_opt),
                format("%.2f", spec.dvfs.at(opt).freq_ghz),
                format("%.1f%%", 100.0 * savings)});
+    // Per-app energy ledger at the optimal OP for the report's
+    // "attribution" section (deterministic — model outputs only).
+    bench::attribution(app.name, e_opt, w.execution_time_s(spec.dvfs.at(opt)));
   }
   t.print();
 

@@ -9,10 +9,11 @@
 #include "power/cooling.hpp"
 #include "power/model.hpp"
 
-int main() {
+int main(int argc, char** argv) {
   using namespace antarex;
   using namespace antarex::power;
 
+  bench::parse_telemetry(argc, argv);
   bench::header("CLAIM-EXA", "extrapolation of node efficiency to Exascale");
 
   constexpr double kExaflops = 1e9;  // GFLOPS

@@ -10,11 +10,12 @@
 #include "power/model.hpp"
 #include "rtrm/node.hpp"
 
-int main() {
+int main(int argc, char** argv) {
   using namespace antarex;
   using namespace antarex::power;
   using namespace antarex::rtrm;
 
+  bench::parse_telemetry(argc, argv);
   bench::header("CLAIM-HET",
                 "heterogeneous vs homogeneous efficiency (Green500 claim)");
 

@@ -8,10 +8,11 @@
 #include "bench_common.hpp"
 #include "power/cooling.hpp"
 
-int main() {
+int main(int argc, char** argv) {
   using namespace antarex;
   using namespace antarex::power;
 
+  bench::parse_telemetry(argc, argv);
   bench::header("CLAIM-PUE", "seasonal ambient temperature vs PUE");
 
   CoolingModel cooling;

@@ -9,10 +9,11 @@
 #include "power/model.hpp"
 #include "support/stats.hpp"
 
-int main() {
+int main(int argc, char** argv) {
   using namespace antarex;
   using namespace antarex::power;
 
+  bench::parse_telemetry(argc, argv);
   bench::header("CLAIM-VAR", "manufacturing variability -> energy variation");
 
   const DeviceSpec spec = DeviceSpec::xeon_haswell();

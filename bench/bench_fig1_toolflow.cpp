@@ -30,9 +30,10 @@ double ms_since(std::chrono::steady_clock::time_point t0) {
 }
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
   using namespace antarex;
 
+  bench::parse_telemetry(argc, argv);
   bench::header("FIG1", "full tool-flow walk (every box of Figure 1)");
   Table t({"stage (Figure 1 box)", "what happened", "cost"});
 

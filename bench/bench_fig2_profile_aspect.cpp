@@ -29,9 +29,10 @@ std::string synthetic_app(int functions, int sites) {
 
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
   using namespace antarex;
 
+  bench::parse_telemetry(argc, argv);
   bench::header("FIG2", "ProfileArguments aspect: weave rate + probe overhead");
 
   const char* aspect = R"(

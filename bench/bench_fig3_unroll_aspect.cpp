@@ -50,9 +50,10 @@ antarex::u64 run_instr(const antarex::cir::Module& m) {
 
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
   using namespace antarex;
 
+  bench::parse_telemetry(argc, argv);
   bench::header("FIG3", "UnrollInnermostLoops aspect: threshold sweep");
 
   const u64 baseline = run_instr(*cir::parse_module(kKernel));

@@ -54,9 +54,10 @@ constexpr const char* kAspects = R"(
 
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
   using namespace antarex;
 
+  bench::parse_telemetry(argc, argv);
   bench::header("FIG4", "SpecializeKernel dynamic aspect: per-value economics");
 
   auto module = cir::parse_module(kApp);

@@ -59,7 +59,8 @@ Outcome run_with(GovernorPolicy governor) {
 
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
+  bench::parse_telemetry(argc, argv);
   bench::header("ABL-GOV", "governor comparison on the simulated cluster");
 
   const GovernorPolicy policies[] = {

@@ -31,7 +31,8 @@ double quantized_score(const AffinityGrid& grid, const Molecule& mol,
 
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
+  bench::parse_telemetry(argc, argv);
   bench::header("ABL-PREC", "precision autotuning on docking scoring");
 
   Rng rng(99);

@@ -35,9 +35,10 @@ constexpr const char* kApp = R"(
 
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
   using namespace antarex;
 
+  bench::parse_telemetry(argc, argv);
   bench::header("ABL-SPLIT", "split compilation: offline exploration pays off");
 
   auto make_args = [] {

@@ -24,6 +24,7 @@ int main(int argc, char** argv) {
   using namespace antarex;
   using namespace antarex::dock;
 
+  bench::parse_telemetry(argc, argv);
   bench::header("UC1", "docking campaign: load balancing + energy");
   const int threads =
       bench::parse_threads(argc, argv, exec::ThreadPool::hardware_threads());
@@ -127,6 +128,13 @@ int main(int argc, char** argv) {
               "imbalance %.2f (dynamic) vs measured %.2f\n",
               measured_speedup, threads, tuned.imbalance, par.imbalance);
 
+  // Simulated energy ledger per scheduler arm (deterministic model output).
+  bench::attribution("dock.static", energy_kj(stat.makespan) * 1e3,
+                     stat.makespan);
+  bench::attribution("dock.dynamic_batch1", energy_kj(dyn1.makespan) * 1e3,
+                     dyn1.makespan);
+  bench::attribution("dock.dynamic_tuned", energy_kj(tuned.makespan) * 1e3,
+                     tuned.makespan);
   bench::metric("iterations", static_cast<double>(costs.size()));
   bench::metric("simulated_joules", energy_kj(tuned.makespan) * 1e3);
   bench::metric("static_joules", energy_kj(stat.makespan) * 1e3);

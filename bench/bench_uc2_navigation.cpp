@@ -19,6 +19,7 @@ int main(int argc, char** argv) {
   using namespace antarex;
   using namespace antarex::nav;
 
+  bench::parse_telemetry(argc, argv);
   bench::header("UC2", "navigation server under diurnal load");
   const int threads =
       bench::parse_threads(argc, argv, exec::ThreadPool::hardware_threads());
@@ -38,15 +39,18 @@ int main(int argc, char** argv) {
   struct Summary {
     double p95 = 0.0;
     double quality = 0.0;
+    double compute_s = 0.0;  ///< summed request latencies (server busy time)
   };
   auto summarize = [](const std::vector<ServedRequest>& xs) {
     std::vector<double> lat;
     RunningStats q;
+    double total_s = 0.0;
     for (const auto& s : xs) {
       lat.push_back(s.latency_s);
       q.add(s.quality);
+      total_s += s.latency_s;
     }
-    return Summary{percentile(lat, 95), q.mean()};
+    return Summary{percentile(lat, 95), q.mean(), total_s};
   };
 
   const auto fixed_exact = summarize(server.serve(
@@ -97,6 +101,15 @@ int main(int argc, char** argv) {
               static_cast<unsigned long long>(live.steals),
               live_summary.quality);
 
+  // Energy ledger per policy arm: server busy seconds at a nominal 150 W
+  // node draw (deterministic — the simulated latencies are seeded).
+  const double server_w = 150.0;
+  bench::attribution("nav.fixed_exact", server_w * fixed_exact.compute_s,
+                     fixed_exact.compute_s);
+  bench::attribution("nav.fixed_degraded", server_w * fixed_fast.compute_s,
+                     fixed_fast.compute_s);
+  bench::attribution("nav.adaptive", server_w * adaptive.compute_s,
+                     adaptive.compute_s);
   bench::metric("iterations", static_cast<double>(requests.size()));
   bench::metric("adaptive_p95_latency_s", adaptive.p95);
   bench::metric("adaptive_quality", adaptive.quality);

@@ -8,13 +8,17 @@
 //
 // Telemetry is enabled for the whole run: the example writes
 // power_management_trace.json (open in chrome://tracing or
-// https://ui.perfetto.dev) and power_management_metrics.json, and prints the
-// registry summary table at the end.
+// https://ui.perfetto.dev), power_management_metrics.json,
+// power_management_attribution.json (per-scenario energy attribution via
+// antarex::obs), and power_management_report.html (self-contained HTML
+// report), and prints the registry summary table at the end.
 //
 // Build & run:  ./build/examples/power_management
 #include <algorithm>
 #include <cstdio>
 
+#include "obs/obs.hpp"
+#include "power/rapl.hpp"
 #include "rtrm/cluster.hpp"
 #include "support/strings.hpp"
 #include "support/table.hpp"
@@ -67,10 +71,30 @@ struct RunStats {
   double max_temp = 0.0;
 };
 
-RunStats run(ClusterConfig cfg) {
+// The observability rig shared by all scenarios: a simulated RAPL package
+// fed the cluster's IT power, the energy accountant sampling it every sim
+// step, and the policy engine ticking on the same clock. Scenario runs are
+// wrapped in a span so the accountant attributes each scenario's joules to
+// its name; time_base_s keeps the driving clock monotonic across the
+// scenarios' independent sim clocks.
+struct ObsRig {
+  power::RaplDomain package{"sim-package"};
+  obs::EnergyAccountant accountant;
+  obs::PolicyEngine policies;
+  double time_base_s = 0.0;
+};
+
+RunStats run(ObsRig& rig, const char* scenario, ClusterConfig cfg) {
+  telemetry::ScopedSpan span(scenario);
   Cluster cluster = make_cluster(cfg);
+  cluster.set_step_observer([&rig](double now, double it_power_w, double dt) {
+    rig.package.accumulate(it_power_w, dt);
+    rig.accountant.sample(rig.time_base_s + now);
+    rig.policies.tick(rig.time_base_s + now);
+  });
   submit_stream(cluster);
   const bool ok = cluster.run_until_idle(5000.0, 0.25);
+  rig.time_base_s += cluster.now_s();
   ANTAREX_CHECK(ok, "power_management: cluster failed to drain");
   RunStats s;
   for (const Job& j : cluster.dispatcher().completed_jobs())
@@ -88,6 +112,12 @@ int main() {
   std::puts("== ANTAREX runtime resource & power management ==\n");
   telemetry::set_enabled(true);
 
+  ObsRig rig;
+  rig.accountant.add_domain(&rig.package);
+  rig.accountant.install();
+  obs::install_builtin_policies(rig.policies);
+  obs::SpanTracker::global().set_policy_engine(&rig.policies);
+
   Table t({"scenario", "makespan (s)", "peak IT power (W)", "IT energy (kJ)",
            "facility energy (kJ)", "max temp (C)"});
 
@@ -96,7 +126,7 @@ int main() {
   base.placement = PlacementPolicy::FastestFirst;
   base.ambient_c = 18.0;
   base.control_period_s = 0.25;
-  const RunStats uncapped = run(base);
+  const RunStats uncapped = run(rig, "scenario.uncapped", base);
   t.add_row({"ondemand, uncapped", format("%.1f", uncapped.makespan),
              format("%.0f", uncapped.peak_w), format("%.1f", uncapped.it_kj),
              format("%.1f", uncapped.facility_kj),
@@ -104,7 +134,7 @@ int main() {
 
   ClusterConfig capped = base;
   capped.facility_cap_w = 0.65 * uncapped.peak_w;
-  const RunStats cap = run(capped);
+  const RunStats cap = run(rig, "scenario.capped", capped);
   t.add_row({format("ondemand, cap %.0f W", *capped.facility_cap_w),
              format("%.1f", cap.makespan), format("%.0f", cap.peak_w),
              format("%.1f", cap.it_kj), format("%.1f", cap.facility_kj),
@@ -112,14 +142,14 @@ int main() {
 
   ClusterConfig green = base;
   green.governor = GovernorPolicy::EnergyAware;
-  const RunStats ea = run(green);
+  const RunStats ea = run(rig, "scenario.energy_aware", green);
   t.add_row({"energy-aware governor", format("%.1f", ea.makespan),
              format("%.0f", ea.peak_w), format("%.1f", ea.it_kj),
              format("%.1f", ea.facility_kj), format("%.0f", ea.max_temp)});
 
   ClusterConfig summer = green;
   summer.ambient_c = 35.0;
-  const RunStats hot = run(summer);
+  const RunStats hot = run(rig, "scenario.summer", summer);
   t.add_row({"energy-aware, summer (35 C)", format("%.1f", hot.makespan),
              format("%.0f", hot.peak_w), format("%.1f", hot.it_kj),
              format("%.1f", hot.facility_kj), format("%.0f", hot.max_temp)});
@@ -139,17 +169,48 @@ int main() {
               ea.facility_kj, hot.facility_kj,
               100.0 * (hot.facility_kj / ea.facility_kj - 1.0));
 
+  std::puts("\n-- energy attribution (who spent the joules) --");
+  rig.accountant.by_phase().table("scenario").print();
+  std::printf("attributed %.1f kJ over %llu samples; policy fires: "
+              "thermal=%llu phase_change=%llu backpressure=%llu\n",
+              rig.accountant.attributed_joules() / 1e3,
+              static_cast<unsigned long long>(rig.accountant.samples()),
+              static_cast<unsigned long long>(
+                  rig.policies.fires("thermal.throttle_alert")),
+              static_cast<unsigned long long>(
+                  rig.policies.fires("tuner.phase_change")),
+              static_cast<unsigned long long>(
+                  rig.policies.fires("nav.backpressure")));
+
   std::puts("\n-- telemetry registry after all four scenarios --");
   telemetry::summary_table().print();
 
-  telemetry::write_text_file("power_management_trace.json",
-                             telemetry::chrome_trace_json());
-  telemetry::write_text_file("power_management_metrics.json",
-                             telemetry::metrics_json());
+  rig.accountant.uninstall();
+  obs::SpanTracker::global().set_policy_engine(nullptr);
+
+  const std::string trace_json = telemetry::chrome_trace_json();
+  const std::string metrics_json = telemetry::metrics_json();
+  const std::string attribution_json = rig.accountant.json();
+  telemetry::write_text_file("power_management_trace.json", trace_json);
+  telemetry::write_text_file("power_management_metrics.json", metrics_json);
+  telemetry::write_text_file("power_management_attribution.json",
+                             attribution_json);
+
+  obs::ReportInputs report;
+  report.title = "power_management — RTRM scenarios";
+  report.trace_json = trace_json;
+  report.metrics_json = metrics_json;
+  report.attribution_json = attribution_json;
+  telemetry::write_text_file("power_management_report.html",
+                             obs::html_report(report));
+
   const auto& trace = telemetry::Registry::global().trace();
   std::printf("\nwrote power_management_trace.json (%zu events, %llu dropped)"
               " — load it in chrome://tracing or ui.perfetto.dev\n"
-              "wrote power_management_metrics.json\n",
+              "wrote power_management_metrics.json, "
+              "power_management_attribution.json\n"
+              "wrote power_management_report.html — self-contained; open in "
+              "any browser\n",
               trace.size(),
               static_cast<unsigned long long>(trace.dropped()));
 

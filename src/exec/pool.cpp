@@ -260,8 +260,10 @@ Task* ThreadPool::find_task(Worker& self, std::size_t index) {
 
 void ThreadPool::run_task(Worker& self, Task* t) {
   TELEMETRY_SPAN("exec.task");
+  active_workers_.fetch_add(1, std::memory_order_relaxed);
   const u64 t0 = now_ns();
   t->run();
+  active_workers_.fetch_sub(1, std::memory_order_relaxed);
   self.busy_ns.fetch_add(now_ns() - t0, std::memory_order_relaxed);
   const u64 done = self.tasks.fetch_add(1, std::memory_order_relaxed) + 1;
   TELEMETRY_COUNT("exec.tasks", 1);
@@ -317,6 +319,7 @@ void ThreadPool::reset_stats() {
 void ThreadPool::publish_telemetry() const {
   const PoolStats s = stats();
   TELEMETRY_GAUGE("exec.workers", static_cast<double>(workers_.size()));
+  TELEMETRY_GAUGE("exec.active_workers", static_cast<double>(active_workers()));
   for (double busy : s.worker_busy_s)
     TELEMETRY_GAUGE("exec.worker_busy_s", busy);
 }

@@ -72,6 +72,13 @@ class ThreadPool {
   int size() const { return static_cast<int>(workers_.size()); }
   static int hardware_threads();
 
+  /// Workers currently inside a task's run() — the instantaneous occupancy
+  /// the energy accountant weights its apportionment by. Racy by nature;
+  /// always in [0, size()].
+  int active_workers() const {
+    return active_workers_.load(std::memory_order_relaxed);
+  }
+
   /// Fire-and-forget submission (round-robin inbox). The callable must not
   /// throw; use async() or parallel_for for exception propagation.
   void submit(std::function<void()> fn);
@@ -113,6 +120,7 @@ class ThreadPool {
 
   std::vector<std::unique_ptr<Worker>> workers_;
   std::vector<std::thread> threads_;
+  std::atomic<int> active_workers_{0};
   std::atomic<std::size_t> next_inbox_{0};
   std::atomic<bool> stop_{false};
   std::mutex wake_mu_;

@@ -1,0 +1,8 @@
+// antarex::obs — observability on top of antarex::telemetry: energy
+// attribution (which span spent the joules), the APEX-style policy engine,
+// and the self-contained HTML run report. See DESIGN.md "Observability".
+#pragma once
+
+#include "obs/attribution.hpp"
+#include "obs/policy.hpp"
+#include "obs/report.hpp"

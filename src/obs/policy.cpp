@@ -1,0 +1,137 @@
+#include "obs/policy.hpp"
+
+#include <algorithm>
+#include <memory>
+
+#include "telemetry/telemetry.hpp"
+
+namespace antarex::obs {
+
+int PolicyEngine::add(std::string name, Predicate when, Callback then,
+                      Callback on_clear) {
+  ANTAREX_REQUIRE(when != nullptr, "PolicyEngine: null predicate");
+  ANTAREX_REQUIRE(then != nullptr, "PolicyEngine: null callback");
+  std::lock_guard<std::mutex> lock(mu_);
+  const int id = next_id_++;
+  policies_.push_back(Policy{id, std::move(name), std::move(when),
+                             std::move(then), std::move(on_clear), false, 0});
+  return id;
+}
+
+void PolicyEngine::remove(int handle) {
+  std::lock_guard<std::mutex> lock(mu_);
+  policies_.erase(std::remove_if(policies_.begin(), policies_.end(),
+                                 [handle](const Policy& p) {
+                                   return p.id == handle;
+                                 }),
+                  policies_.end());
+}
+
+void PolicyEngine::evaluate(const PolicyContext& ctx) {
+  std::lock_guard<std::mutex> lock(mu_);
+  ++evaluations_;
+  for (Policy& p : policies_) {
+    const bool cond = p.when(ctx);
+    if (cond && !p.latched) {
+      // false -> true edge: fire exactly once per crossing.
+      p.latched = true;
+      ++p.fires;
+      TELEMETRY_COUNT("obs.policy_fires", 1);
+      p.then(ctx);
+    } else if (!cond && p.latched) {
+      p.latched = false;
+      if (p.on_clear) p.on_clear(ctx);
+    }
+  }
+}
+
+void PolicyEngine::tick(double now_s) {
+  PolicyContext ctx;
+  ctx.registry = &telemetry::Registry::global();
+  ctx.now_s = now_s;
+  evaluate(ctx);
+}
+
+void PolicyEngine::on_span_exit(const char* name, double duration_s,
+                                double now_s) {
+  PolicyContext ctx;
+  ctx.registry = &telemetry::Registry::global();
+  ctx.now_s = now_s;
+  ctx.span = name;
+  ctx.span_duration_s = duration_s;
+  evaluate(ctx);
+}
+
+u64 PolicyEngine::fires(int handle) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  for (const Policy& p : policies_)
+    if (p.id == handle) return p.fires;
+  return 0;
+}
+
+u64 PolicyEngine::fires(const std::string& name) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  u64 total = 0;
+  for (const Policy& p : policies_)
+    if (p.name == name) total += p.fires;
+  return total;
+}
+
+u64 PolicyEngine::evaluations() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return evaluations_;
+}
+
+std::size_t PolicyEngine::size() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return policies_.size();
+}
+
+std::vector<std::string> PolicyEngine::names() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  std::vector<std::string> out;
+  out.reserve(policies_.size());
+  for (const Policy& p : policies_) out.push_back(p.name);
+  return out;
+}
+
+void install_builtin_policies(PolicyEngine& engine, BuiltinPolicyConfig cfg) {
+  // Throttle alert: the RTRM control loop publishes how close the hottest
+  // device sits to the critical temperature; alert when headroom shrinks.
+  engine.add(
+      "thermal.throttle_alert",
+      [threshold = cfg.thermal_headroom_alert_c](const PolicyContext& ctx) {
+        const telemetry::Gauge& g = ctx.registry->gauge("rtrm.thermal_headroom_c");
+        return g.updates() > 0 && g.last() < threshold;
+      },
+      [](const PolicyContext&) { TELEMETRY_COUNT("obs.alerts.thermal", 1); });
+
+  // Phase-change notification: one fire per tuner.phase_changes increment
+  // (the callback advances the acknowledged count, which re-arms the edge).
+  auto acked = std::make_shared<u64>(0);
+  engine.add(
+      "tuner.phase_change",
+      [acked](const PolicyContext& ctx) {
+        return ctx.registry->counter("tuner.phase_changes").value() > *acked;
+      },
+      [acked](const PolicyContext& ctx) {
+        *acked = ctx.registry->counter("tuner.phase_changes").value();
+        TELEMETRY_COUNT("obs.alerts.phase_change", 1);
+      });
+
+  // Queue-depth backpressure: raise the nav.backpressure gauge while the nav
+  // server's admission queue sits at/above the limit, drop it when it clears.
+  engine.add(
+      "nav.backpressure",
+      [limit = cfg.nav_queue_depth_limit](const PolicyContext& ctx) {
+        const telemetry::Gauge& g = ctx.registry->gauge("nav.queue_depth");
+        return g.updates() > 0 && g.last() >= limit;
+      },
+      [](const PolicyContext&) {
+        TELEMETRY_COUNT("obs.alerts.backpressure", 1);
+        TELEMETRY_GAUGE("nav.backpressure", 1.0);
+      },
+      [](const PolicyContext&) { TELEMETRY_GAUGE("nav.backpressure", 0.0); });
+}
+
+}  // namespace antarex::obs

@@ -1,0 +1,101 @@
+// APEX-style policy engine: registered {metric predicate -> callback} pairs
+// evaluated on a periodic tick or on span-exit events.
+//
+// APEX exposes apex_register_policy(event, fn) and
+// apex_register_periodic_policy(period, fn); this is the same observe->decide
+// shape on top of the antarex::telemetry registry. Policies are
+// edge-triggered: a policy fires when its predicate transitions false->true,
+// stays silent while the condition holds, and re-arms when it clears — so a
+// threshold crossing fires exactly once (tested), not once per tick. An
+// optional on_clear callback runs on the true->false transition (e.g. to
+// drop a backpressure gauge).
+//
+// Evaluation is synchronous on the calling thread (the control loop's tick,
+// or the thread exiting a span). Callbacks must not register/remove policies
+// on the same engine (the engine lock is held) and should be cheap — raise a
+// counter, set a gauge, notify a controller.
+#pragma once
+
+#include <functional>
+#include <mutex>
+#include <string>
+#include <vector>
+
+#include "support/common.hpp"
+#include "telemetry/registry.hpp"
+
+namespace antarex::obs {
+
+/// What a predicate/callback sees at evaluation time. The registry is
+/// mutable on purpose: lookups are get-or-create, and callbacks typically
+/// respond by raising counters or setting gauges.
+struct PolicyContext {
+  telemetry::Registry* registry;  ///< never null
+  double now_s = 0.0;             ///< driving clock (sim or wall)
+  const char* span = nullptr;     ///< span name on span-exit, else null
+  double span_duration_s = 0.0;   ///< valid when span != nullptr
+};
+
+class PolicyEngine {
+ public:
+  using Predicate = std::function<bool(const PolicyContext&)>;
+  using Callback = std::function<void(const PolicyContext&)>;
+
+  /// Register a policy; returns its handle. `when` is evaluated on every
+  /// tick() and span exit; `then` runs on the false->true edge; `on_clear`
+  /// (optional) on the subsequent true->false edge.
+  int add(std::string name, Predicate when, Callback then,
+          Callback on_clear = nullptr);
+  void remove(int handle);
+
+  /// Periodic evaluation (call from the control loop / sampling driver).
+  void tick(double now_s);
+
+  /// Span-exit evaluation; invoked by the SpanTracker hooks when attached.
+  void on_span_exit(const char* name, double duration_s, double now_s);
+
+  u64 fires(int handle) const;
+  u64 fires(const std::string& name) const;  ///< 0 if unknown
+  u64 evaluations() const;
+  std::size_t size() const;
+  std::vector<std::string> names() const;
+
+ private:
+  struct Policy {
+    int id;
+    std::string name;
+    Predicate when;
+    Callback then;
+    Callback on_clear;
+    bool latched = false;  ///< predicate was true at last evaluation
+    u64 fires = 0;
+  };
+  void evaluate(const PolicyContext& ctx);
+
+  mutable std::mutex mu_;
+  std::vector<Policy> policies_;
+  int next_id_ = 1;
+  u64 evaluations_ = 0;
+};
+
+/// Thresholds for the built-in policies wired into the stack.
+struct BuiltinPolicyConfig {
+  /// Fire thermal.throttle_alert when the RTRM's published thermal headroom
+  /// (rtrm.thermal_headroom_c gauge: t_crit - hottest device) shrinks below
+  /// this many degrees.
+  double thermal_headroom_alert_c = 8.0;
+  /// Fire nav.backpressure when the nav server's queue-depth gauge reaches
+  /// this; the obs gauge nav.backpressure is raised to 1 until it clears.
+  double nav_queue_depth_limit = 48.0;
+};
+
+/// Install the three built-in stack policies on `engine`:
+///  - thermal.throttle_alert  (counts obs.alerts.thermal)
+///  - tuner.phase_change      (counts obs.alerts.phase_change, one fire per
+///                             tuner.phase_changes increment)
+///  - nav.backpressure        (counts obs.alerts.backpressure, drives the
+///                             nav.backpressure gauge 1/0)
+void install_builtin_policies(PolicyEngine& engine,
+                              BuiltinPolicyConfig config = {});
+
+}  // namespace antarex::obs

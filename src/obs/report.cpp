@@ -1,0 +1,352 @@
+#include "obs/report.hpp"
+
+#include <algorithm>
+#include <map>
+#include <vector>
+
+#include "support/common.hpp"
+#include "support/json.hpp"
+#include "support/strings.hpp"
+
+namespace antarex::obs {
+
+namespace {
+
+/// One reconstructed span interval from the B/E event stream.
+struct Interval {
+  std::string name;
+  double begin_us = 0.0;
+  double end_us = 0.0;
+  std::size_t depth = 0;
+  double dur_us() const { return end_us - begin_us; }
+};
+
+struct SpanAgg {
+  std::string name;
+  u64 count = 0;
+  double total_us = 0.0;
+  double self_us = 0.0;  ///< total minus time in nested spans
+  double max_us = 0.0;
+};
+
+/// Rebuild intervals from the exporter's single-track B/E stream. The
+/// exporter guarantees balance (it repairs truncated tails), but stay
+/// defensive: orphan 'E's are skipped, open 'B's closed at the last
+/// timestamp.
+std::vector<Interval> reconstruct(const JsonValue& trace) {
+  const JsonValue* events = trace.get("traceEvents");
+  ANTAREX_REQUIRE(events != nullptr && events->is_array(),
+                  "report: trace has no traceEvents array");
+  std::vector<Interval> out;
+  struct Open {
+    std::size_t slot;
+    double child_us = 0.0;
+  };
+  std::vector<Open> stack;
+  double last_ts = 0.0;
+  for (const JsonValue& e : events->as_array()) {
+    if (!e.is_object()) continue;
+    const JsonValue* ph = e.get("ph");
+    const JsonValue* name = e.get("name");
+    if (!ph || !ph->is_string()) continue;
+    const double ts = e.number_or("ts", last_ts);
+    last_ts = ts;
+    if (ph->as_string() == "B") {
+      Interval iv;
+      iv.name = (name && name->is_string()) ? name->as_string() : "(unnamed)";
+      iv.begin_us = ts;
+      iv.depth = stack.size();
+      out.push_back(iv);
+      stack.push_back(Open{out.size() - 1});
+    } else if (ph->as_string() == "E" && !stack.empty()) {
+      const Open open = stack.back();
+      stack.pop_back();
+      out[open.slot].end_us = ts;
+      if (!stack.empty())
+        stack.back().child_us += out[open.slot].dur_us();
+      // Self time = duration minus nested children.
+      // Stored via the aggregate pass below using child_us snapshots:
+      out[open.slot].end_us = ts;
+    }
+  }
+  while (!stack.empty()) {
+    out[stack.back().slot].end_us = last_ts;
+    stack.pop_back();
+  }
+  return out;
+}
+
+/// Aggregate per name; self time recomputed by re-walking with a stack.
+std::vector<SpanAgg> aggregate(const std::vector<Interval>& intervals) {
+  // Intervals are in begin order; children always follow parents. Compute
+  // child time per interval by a containment sweep over depth.
+  std::vector<double> child_us(intervals.size(), 0.0);
+  std::vector<std::size_t> stack;
+  for (std::size_t i = 0; i < intervals.size(); ++i) {
+    while (!stack.empty() &&
+           intervals[stack.back()].depth >= intervals[i].depth)
+      stack.pop_back();
+    if (!stack.empty()) child_us[stack.back()] += intervals[i].dur_us();
+    stack.push_back(i);
+  }
+  std::map<std::string, SpanAgg> by_name;
+  for (std::size_t i = 0; i < intervals.size(); ++i) {
+    SpanAgg& a = by_name[intervals[i].name];
+    a.name = intervals[i].name;
+    ++a.count;
+    a.total_us += intervals[i].dur_us();
+    a.self_us += intervals[i].dur_us() - child_us[i];
+    a.max_us = std::max(a.max_us, intervals[i].dur_us());
+  }
+  std::vector<SpanAgg> out;
+  out.reserve(by_name.size());
+  for (auto& [name, a] : by_name) out.push_back(a);
+  std::sort(out.begin(), out.end(), [](const SpanAgg& a, const SpanAgg& b) {
+    return a.total_us > b.total_us;
+  });
+  return out;
+}
+
+std::string html_escape(const std::string& s) {
+  std::string out;
+  out.reserve(s.size());
+  for (const char c : s) {
+    switch (c) {
+      case '&': out += "&amp;"; break;
+      case '<': out += "&lt;"; break;
+      case '>': out += "&gt;"; break;
+      case '"': out += "&quot;"; break;
+      default: out += c;
+    }
+  }
+  return out;
+}
+
+/// Stable pastel color per span name (hash -> hue).
+std::string color_for(const std::string& name) {
+  u32 h = 2166136261u;
+  for (const char c : name) h = (h ^ static_cast<u8>(c)) * 16777619u;
+  return format("hsl(%u,55%%,72%%)", h % 360u);
+}
+
+std::string fmt_us(double us) {
+  if (us >= 1e6) return format("%.3f s", us / 1e6);
+  if (us >= 1e3) return format("%.3f ms", us / 1e3);
+  return format("%.0f us", us);
+}
+
+void emit_flame(std::string& html, const std::vector<Interval>& intervals) {
+  if (intervals.empty()) {
+    html += "<p class=note>trace contains no spans</p>\n";
+    return;
+  }
+  double t0 = intervals[0].begin_us, t1 = 0.0;
+  std::size_t max_depth = 0;
+  for (const Interval& iv : intervals) {
+    t0 = std::min(t0, iv.begin_us);
+    t1 = std::max(t1, iv.end_us);
+    max_depth = std::max(max_depth, iv.depth);
+  }
+  const double span_us = std::max(1e-9, t1 - t0);
+  // Bound the DOM size: beyond the cap, note the truncation loudly rather
+  // than silently rendering a partial-looking picture.
+  constexpr std::size_t kMaxBoxes = 4000;
+  const std::size_t n = std::min(intervals.size(), kMaxBoxes);
+  html += format(
+      "<div class=flame style=\"height:%zupx\" "
+      "title=\"timeline: %s total\">\n",
+      (max_depth + 1) * 22 + 2, fmt_us(span_us).c_str());
+  for (std::size_t i = 0; i < n; ++i) {
+    const Interval& iv = intervals[i];
+    const double left = 100.0 * (iv.begin_us - t0) / span_us;
+    const double width = 100.0 * iv.dur_us() / span_us;
+    if (width < 0.02) continue;  // sub-pixel boxes only bloat the file
+    html += format(
+        "<div class=sp style=\"left:%.3f%%;width:%.3f%%;top:%zupx;"
+        "background:%s\" title=\"%s (%s)\">%s</div>\n",
+        left, std::max(width, 0.05), iv.depth * 22,
+        color_for(iv.name).c_str(), html_escape(iv.name).c_str(),
+        fmt_us(iv.dur_us()).c_str(), html_escape(iv.name).c_str());
+  }
+  html += "</div>\n";
+  if (intervals.size() > kMaxBoxes)
+    html += format("<p class=note>timeline truncated to the first %zu of %zu "
+                   "spans</p>\n",
+                   kMaxBoxes, intervals.size());
+}
+
+void emit_span_table(std::string& html, const std::vector<SpanAgg>& aggs) {
+  html += "<table><tr><th>span</th><th>count</th><th>total</th><th>self</th>"
+          "<th>max</th></tr>\n";
+  for (const SpanAgg& a : aggs)
+    html += format(
+        "<tr><td><span class=chip style=\"background:%s\"></span>%s</td>"
+        "<td class=r>%llu</td><td class=r>%s</td><td class=r>%s</td>"
+        "<td class=r>%s</td></tr>\n",
+        color_for(a.name).c_str(), html_escape(a.name).c_str(),
+        static_cast<unsigned long long>(a.count), fmt_us(a.total_us).c_str(),
+        fmt_us(a.self_us).c_str(), fmt_us(a.max_us).c_str());
+  html += "</table>\n";
+}
+
+void emit_attribution(std::string& html, const JsonValue& attr) {
+  const double total = attr.number_or("total_joules", 0.0);
+  html += format(
+      "<p>%.3f J attributed over %.0f samples (interval %.3g s)",
+      total, attr.number_or("samples", 0.0), attr.number_or("interval_s", 0.0));
+  if (const JsonValue* workers = attr.get("workers"))
+    html += format(", %d pool workers", static_cast<int>(workers->as_number()));
+  html += "</p>\n";
+  const auto emit_table = [&](const char* key, const char* caption) {
+    const JsonValue* rows = attr.get(key);
+    if (!rows || !rows->is_array() || rows->as_array().empty()) return;
+    html += format("<h3>%s</h3>\n", caption);
+    html += "<table><tr><th>span</th><th>joules</th><th>share</th>"
+            "<th>seconds</th><th>samples</th></tr>\n";
+    for (const JsonValue& row : rows->as_array()) {
+      if (!row.is_object()) continue;
+      const std::string name =
+          row.get("span") && row.get("span")->is_string()
+              ? row.get("span")->as_string() : "(unnamed)";
+      const double j = row.number_or("joules", 0.0);
+      html += format(
+          "<tr><td>%s</td><td class=r>%.3f</td><td class=r>%.1f%%</td>"
+          "<td class=r>%.3f</td><td class=r>%.0f</td></tr>\n",
+          html_escape(name).c_str(), j, total > 0.0 ? 100.0 * j / total : 0.0,
+          row.number_or("seconds", 0.0), row.number_or("samples", 0.0));
+      // Bar visualization of the share.
+      html += format(
+          "<tr class=barrow><td colspan=5><div class=bar "
+          "style=\"width:%.2f%%;background:%s\"></div></td></tr>\n",
+          total > 0.0 ? 100.0 * j / total : 0.0, color_for(name).c_str());
+    }
+    html += "</table>\n";
+  };
+  emit_table("by_phase", "By phase (outermost span)");
+  emit_table("by_leaf", "By leaf (innermost span)");
+}
+
+void emit_metrics(std::string& html, const JsonValue& metrics) {
+  const auto section = [&](const char* key) -> const JsonValue* {
+    const JsonValue* v = metrics.get(key);
+    return (v && v->is_object() && !v->members().empty()) ? v : nullptr;
+  };
+  if (const JsonValue* counters = section("counters")) {
+    html += "<h3>Counters</h3>\n<table><tr><th>name</th><th>value</th></tr>\n";
+    for (const auto& [name, v] : counters->members())
+      if (v.is_number())
+        html += format("<tr><td>%s</td><td class=r>%.0f</td></tr>\n",
+                       html_escape(name).c_str(), v.as_number());
+    html += "</table>\n";
+  }
+  if (const JsonValue* gauges = section("gauges")) {
+    html += "<h3>Gauges</h3>\n<table><tr><th>name</th><th>last</th>"
+            "<th>min</th><th>max</th><th>updates</th></tr>\n";
+    for (const auto& [name, v] : gauges->members())
+      if (v.is_object())
+        html += format(
+            "<tr><td>%s</td><td class=r>%.4g</td><td class=r>%.4g</td>"
+            "<td class=r>%.4g</td><td class=r>%.0f</td></tr>\n",
+            html_escape(name).c_str(), v.number_or("last", 0.0),
+            v.number_or("min", 0.0), v.number_or("max", 0.0),
+            v.number_or("updates", 0.0));
+    html += "</table>\n";
+  }
+  if (const JsonValue* hists = section("histograms")) {
+    html += "<h3>Histograms</h3>\n<table><tr><th>name</th><th>count</th>"
+            "<th>mean</th><th>p50</th><th>p95</th><th>p99</th></tr>\n";
+    for (const auto& [name, v] : hists->members())
+      if (v.is_object())
+        html += format(
+            "<tr><td>%s</td><td class=r>%.0f</td><td class=r>%.4g</td>"
+            "<td class=r>%.4g</td><td class=r>%.4g</td><td class=r>%.4g</td>"
+            "</tr>\n",
+            html_escape(name).c_str(), v.number_or("count", 0.0),
+            v.number_or("mean", 0.0), v.number_or("p50", 0.0),
+            v.number_or("p95", 0.0), v.number_or("p99", 0.0));
+    html += "</table>\n";
+  }
+  if (const JsonValue* series = section("series")) {
+    html += "<h3>Series</h3>\n<table><tr><th>name</th><th>count</th>"
+            "<th>last</th><th>mean</th><th>p95</th><th>ewma</th></tr>\n";
+    for (const auto& [name, v] : series->members())
+      if (v.is_object())
+        html += format(
+            "<tr><td>%s</td><td class=r>%.0f</td><td class=r>%.4g</td>"
+            "<td class=r>%.4g</td><td class=r>%.4g</td><td class=r>%.4g</td>"
+            "</tr>\n",
+            html_escape(name).c_str(), v.number_or("count", 0.0),
+            v.number_or("last", 0.0), v.number_or("mean", 0.0),
+            v.number_or("p95", 0.0), v.number_or("ewma", 0.0));
+    html += "</table>\n";
+  }
+}
+
+constexpr const char* kStyle = R"css(
+body{font:14px/1.45 system-ui,sans-serif;margin:24px auto;max-width:1100px;
+     color:#222;background:#fafafa}
+h1{font-size:22px;border-bottom:2px solid #ddd;padding-bottom:6px}
+h2{font-size:17px;margin-top:28px}
+h3{font-size:14px;margin:14px 0 4px}
+table{border-collapse:collapse;margin:6px 0;background:#fff}
+th,td{border:1px solid #ddd;padding:3px 10px;text-align:left}
+th{background:#f0f0f0}
+td.r{text-align:right;font-variant-numeric:tabular-nums}
+.flame{position:relative;background:#fff;border:1px solid #ddd;
+       overflow:hidden;margin:8px 0}
+.sp{position:absolute;height:20px;font-size:10px;line-height:20px;
+    overflow:hidden;white-space:nowrap;border-radius:2px;
+    border:1px solid rgba(0,0,0,.15);box-sizing:border-box;padding:0 3px}
+.chip{display:inline-block;width:10px;height:10px;border-radius:2px;
+      margin-right:6px;border:1px solid rgba(0,0,0,.2)}
+.bar{height:5px;border-radius:2px}
+.barrow td{border:none;padding:0 10px 4px}
+.note{color:#777;font-style:italic}
+.meta{color:#555}
+)css";
+
+}  // namespace
+
+std::string html_report(const ReportInputs& inputs) {
+  const JsonValue trace = parse_json(inputs.trace_json);
+  const std::vector<Interval> intervals = reconstruct(trace);
+  const std::vector<SpanAgg> aggs = aggregate(intervals);
+
+  std::string html;
+  html += "<!DOCTYPE html>\n<html>\n<head>\n<meta charset=\"utf-8\">\n";
+  html += "<title>" + html_escape(inputs.title) + "</title>\n";
+  html += "<style>";
+  html += kStyle;
+  html += "</style>\n</head>\n<body>\n";
+  html += "<h1>" + html_escape(inputs.title) + "</h1>\n";
+
+  double recorded = 0.0, dropped = 0.0;
+  if (const JsonValue* other = trace.get("otherData")) {
+    recorded = other->number_or("recorded", 0.0);
+    dropped = other->number_or("dropped", 0.0);
+  }
+  html += format("<p class=meta>%zu spans reconstructed from %.0f events "
+                 "(%.0f dropped at the buffer)</p>\n",
+                 intervals.size(), recorded, dropped);
+
+  if (!inputs.attribution_json.empty()) {
+    html += "<h2>Energy attribution</h2>\n";
+    emit_attribution(html, parse_json(inputs.attribution_json));
+  }
+
+  html += "<h2>Timeline</h2>\n";
+  emit_flame(html, intervals);
+
+  html += "<h2>Spans</h2>\n";
+  emit_span_table(html, aggs);
+
+  if (!inputs.metrics_json.empty()) {
+    html += "<h2>Metrics</h2>\n";
+    emit_metrics(html, parse_json(inputs.metrics_json));
+  }
+
+  html += "</body>\n</html>\n";
+  return html;
+}
+
+}  // namespace antarex::obs

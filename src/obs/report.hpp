@@ -1,0 +1,22 @@
+// Self-contained HTML report from a run's exported artifacts: the flame
+// timeline + per-span summary of a Chrome trace, the metrics registry dump,
+// and the energy-attribution tables. Everything is inlined (one <style>, no
+// scripts, no external fetches), so the file opens anywhere.
+#pragma once
+
+#include <string>
+
+namespace antarex::obs {
+
+struct ReportInputs {
+  std::string title = "antarex run";
+  std::string trace_json;        ///< Chrome trace (required)
+  std::string metrics_json;      ///< telemetry::metrics_json() (optional)
+  std::string attribution_json;  ///< EnergyAccountant::json() (optional)
+};
+
+/// Render the report; throws antarex::Error when trace_json (or a provided
+/// optional input) is not valid JSON of the expected shape.
+std::string html_report(const ReportInputs& inputs);
+
+}  // namespace antarex::obs

@@ -63,12 +63,18 @@ void Cluster::run_for(double duration_s, double dt_s) {
     telemetry_.facility_energy_j +=
         it_power * step * cooling_.pue(it_power, config_.ambient_c);
     telemetry_.peak_it_power_w = std::max(telemetry_.peak_it_power_w, it_power);
+    double step_max_c = config_.ambient_c;
     for (const auto& node : nodes_)
       for (const auto& d : node.devices())
-        telemetry_.max_temperature_c =
-            std::max(telemetry_.max_temperature_c, d.temperature_c());
+        step_max_c = std::max(step_max_c, d.temperature_c());
+    telemetry_.max_temperature_c =
+        std::max(telemetry_.max_temperature_c, step_max_c);
     TELEMETRY_GAUGE("rtrm.max_temp_c", telemetry_.max_temperature_c);
+    // Instantaneous headroom to the critical temperature — the signal the
+    // obs thermal.throttle_alert policy watches.
+    TELEMETRY_GAUGE("rtrm.thermal_headroom_c", config_.t_crit_c - step_max_c);
     telemetry_.jobs_completed = dispatcher_.completed();
+    if (step_observer_) step_observer_(clock_.now(), it_power, step);
   }
 }
 

@@ -62,6 +62,13 @@ class Cluster {
   /// Returns true if everything completed.
   bool run_until_idle(double max_s = 1e7, double dt_s = 0.25);
 
+  /// Observe every simulation step after it lands:
+  /// fn(now_s, it_power_w, dt_s). Lets the obs layer drive energy sampling
+  /// and policy ticks off the simulation clock. Pass nullptr to detach.
+  void set_step_observer(std::function<void(double, double, double)> fn) {
+    step_observer_ = std::move(fn);
+  }
+
   double now_s() const { return clock_.now(); }
   double it_power_w() const;
   double pue() const;
@@ -80,6 +87,7 @@ class Cluster {
   SimClock clock_;
   double next_control_s_ = 0.0;
   ClusterTelemetry telemetry_;
+  std::function<void(double, double, double)> step_observer_;
 };
 
 }  // namespace antarex::rtrm

@@ -4,31 +4,12 @@
 #include <string>
 #include <vector>
 
+#include "support/json.hpp"
 #include "support/strings.hpp"
 
 namespace antarex::telemetry {
 
 namespace {
-
-std::string json_escape(const std::string& s) {
-  std::string out;
-  out.reserve(s.size() + 2);
-  for (const char c : s) {
-    switch (c) {
-      case '"': out += "\\\""; break;
-      case '\\': out += "\\\\"; break;
-      case '\n': out += "\\n"; break;
-      case '\r': out += "\\r"; break;
-      case '\t': out += "\\t"; break;
-      default:
-        if (static_cast<unsigned char>(c) < 0x20)
-          out += format("\\u%04x", static_cast<unsigned>(c));
-        else
-          out += c;
-    }
-  }
-  return out;
-}
 
 std::string num(double v) { return format("%.9g", v); }
 
@@ -113,6 +94,9 @@ std::string metrics_json(const Registry& registry) {
     histograms.add("\"" + json_escape(name) + "\":{\"lo\":" + num(h->lo()) +
                    ",\"hi\":" + num(h->hi()) + ",\"count\":" + num(h->count()) +
                    ",\"sum\":" + num(h->sum()) + ",\"mean\":" + num(h->mean()) +
+                   ",\"p50\":" + num(h->approx_quantile(0.50)) +
+                   ",\"p95\":" + num(h->approx_quantile(0.95)) +
+                   ",\"p99\":" + num(h->approx_quantile(0.99)) +
                    ",\"buckets\":[" + buckets.str() + "]}");
   }
 
@@ -123,12 +107,14 @@ std::string metrics_json(const Registry& registry) {
                "\":{\"count\":" + num(static_cast<u64>(s->count())) +
                ",\"last\":" + num(has ? s->last() : 0.0) +
                ",\"mean\":" + num(has ? s->window_mean() : 0.0) +
+               ",\"p50\":" + num(has ? s->window_percentile(50) : 0.0) +
                ",\"p95\":" + num(has ? s->window_percentile(95) : 0.0) +
+               ",\"p99\":" + num(has ? s->window_percentile(99) : 0.0) +
                ",\"ewma\":" + num(has ? s->ewma() : 0.0) + "}");
   }
 
   const TraceBuffer& buf = registry.trace();
-  return "{\"schema\":\"antarex.telemetry.metrics/v1\",\"counters\":{" +
+  return "{\"schema\":\"antarex.telemetry.metrics/v2\",\"counters\":{" +
          counters.str() + "},\"gauges\":{" + gauges.str() +
          "},\"histograms\":{" + histograms.str() + "},\"series\":{" +
          series.str() + "},\"trace\":{\"events\":" +
@@ -137,22 +123,27 @@ std::string metrics_json(const Registry& registry) {
 }
 
 Table summary_table(const Registry& registry) {
-  Table t({"metric", "kind", "count", "value", "mean", "p95"});
+  Table t({"metric", "kind", "count", "value", "mean", "p50", "p95", "p99"});
   for (const auto& [name, c] : registry.counters())
-    t.add_row({name, "counter", num(c->value()), num(c->value()), "-", "-"});
+    t.add_row({name, "counter", num(c->value()), num(c->value()), "-", "-",
+               "-", "-"});
   for (const auto& [name, g] : registry.gauges())
     t.add_row({name, "gauge", num(g->updates()), format("%.4g", g->last()),
-               "-", format("max %.4g", g->max())});
+               "-", "-", format("max %.4g", g->max()), "-"});
   for (const auto& [name, h] : registry.histograms())
     t.add_row({name, "histogram", num(h->count()), format("%.4g", h->sum()),
                format("%.4g", h->mean()),
-               format("%.4g", h->approx_percentile(95))});
+               format("%.4g", h->approx_quantile(0.50)),
+               format("%.4g", h->approx_quantile(0.95)),
+               format("%.4g", h->approx_quantile(0.99))});
   for (const auto& [name, s] : registry.all_series()) {
     const bool has = !s->empty();
     t.add_row({name, "series", num(static_cast<u64>(s->count())),
                format("%.4g", has ? s->last() : 0.0),
                format("%.4g", has ? s->window_mean() : 0.0),
-               format("%.4g", has ? s->window_percentile(95) : 0.0)});
+               format("%.4g", has ? s->window_percentile(50) : 0.0),
+               format("%.4g", has ? s->window_percentile(95) : 0.0),
+               format("%.4g", has ? s->window_percentile(99) : 0.0)});
   }
   return t;
 }

@@ -17,16 +17,19 @@ namespace antarex::telemetry {
 /// "otherData".
 std::string chrome_trace_json(const Registry& registry = Registry::global());
 
-/// Flat metrics dump, schema "antarex.telemetry.metrics/v1":
+/// Flat metrics dump, schema "antarex.telemetry.metrics/v2":
 ///   { "schema": ..., "counters": {name: int},
 ///     "gauges": {name: {last,min,max,updates}},
-///     "histograms": {name: {lo,hi,count,sum,mean,buckets:[...]}},
-///     "series": {name: {count,last,mean,p95,ewma}},
+///     "histograms": {name: {lo,hi,count,sum,mean,p50,p95,p99,buckets:[...]}},
+///     "series": {name: {count,last,mean,p50,p95,p99,ewma}},
 ///     "trace": {events,dropped} }
-/// Keys are emitted in sorted order, so the layout is deterministic.
+/// Histogram quantiles are approx_quantile() estimates (interpolated);
+/// series quantiles are exact over the rolling window. Keys are emitted in
+/// sorted order, so the layout is deterministic.
 std::string metrics_json(const Registry& registry = Registry::global());
 
-/// One row per metric (name, kind, count, value, mean, p95) via support/table.
+/// One row per metric (name, kind, count, value, mean, p50, p95, p99) via
+/// support/table.
 Table summary_table(const Registry& registry = Registry::global());
 
 /// Write a string to a file; throws antarex::Error on I/O failure.

@@ -53,6 +53,30 @@ double Histogram::approx_percentile(double p) const {
   return hi_;
 }
 
+double Histogram::approx_quantile(double q) const {
+  ANTAREX_REQUIRE(q >= 0.0 && q <= 1.0,
+                  "telemetry::Histogram: quantile outside [0,1]");
+  const u64 n = count();
+  if (n == 0) return 0.0;
+  const double target =
+      std::clamp(q * static_cast<double>(n), 0.0, static_cast<double>(n));
+  const double width = (hi_ - lo_) / static_cast<double>(counts_.size());
+  double cum = 0.0;
+  for (std::size_t i = 0; i < counts_.size(); ++i) {
+    const double c =
+        static_cast<double>(counts_[i].load(std::memory_order_relaxed));
+    if (c <= 0.0) continue;
+    if (cum + c >= target) {
+      // Linear interpolation inside the bucket: the bucket's mass is assumed
+      // uniformly spread over its value range.
+      const double frac = std::clamp((target - cum) / c, 0.0, 1.0);
+      return lo_ + (static_cast<double>(i) + frac) * width;
+    }
+    cum += c;
+  }
+  return hi_;
+}
+
 void Histogram::reset() {
   for (auto& c : counts_) c.store(0, std::memory_order_relaxed);
   count_.store(0, std::memory_order_relaxed);

@@ -113,6 +113,10 @@ class Histogram {
   }
   /// Approximate percentile in [0,100]: midpoint of the nearest-rank bucket.
   double approx_percentile(double p) const;
+  /// Approximate quantile in [0,1] with linear interpolation inside the
+  /// bucket (finer than approx_percentile for coarse histograms). This is
+  /// what the exporters publish as p50/p95/p99.
+  double approx_quantile(double q) const;
   void reset();
 
  private:

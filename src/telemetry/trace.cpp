@@ -73,14 +73,41 @@ void TraceBuffer::set_now_fn(NowFn fn) {
   now_fn_ = fn ? fn : &steady_now_ns;
 }
 
+namespace {
+std::atomic<SpanEnterHook> g_enter_hook{nullptr};
+std::atomic<SpanExitHook> g_exit_hook{nullptr};
+}  // namespace
+
+void set_span_enter_hook(SpanEnterHook fn) {
+  g_enter_hook.store(fn, std::memory_order_release);
+}
+
+void set_span_exit_hook(SpanExitHook fn) {
+  g_exit_hook.store(fn, std::memory_order_release);
+}
+
+SpanEnterHook span_enter_hook() {
+  return g_enter_hook.load(std::memory_order_acquire);
+}
+
+SpanExitHook span_exit_hook() {
+  return g_exit_hook.load(std::memory_order_acquire);
+}
+
 ScopedSpan::ScopedSpan(const char* name) : name_(name), active_(enabled()) {
-  if (active_) Registry::global().trace().push(name_, 'B');
+  if (!active_) return;
+  Registry::global().trace().push(name_, 'B');
+  if (SpanEnterHook hook = span_enter_hook()) hook(name_);
+  if (span_exit_hook()) start_ns_ = Registry::global().trace().now_ns();
 }
 
 ScopedSpan::~ScopedSpan() {
   // Close the span even if telemetry was switched off mid-flight, so the
   // buffer stays balanced.
-  if (active_) Registry::global().trace().push(name_, 'E');
+  if (!active_) return;
+  Registry::global().trace().push(name_, 'E');
+  if (SpanExitHook hook = span_exit_hook())
+    hook(name_, start_ns_, Registry::global().trace().now_ns());
 }
 
 ScopedTimer::ScopedTimer(Histogram& sink)

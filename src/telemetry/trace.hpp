@@ -62,6 +62,22 @@ class TraceBuffer {
   NowFn now_fn_;
 };
 
+/// Span lifecycle hooks, the attachment point for profiling layers that need
+/// to know what is open *right now* (antarex::obs energy attribution, the
+/// policy engine's span-exit evaluation). Global process-wide function
+/// pointers held in atomics: install before the instrumented region runs,
+/// uninstall (nullptr) after it quiesces. Hooks fire only for spans that were
+/// active at construction (telemetry enabled), on the thread running the
+/// span. The exit hook receives the span's start/end timestamps from the
+/// trace clock; timestamps are sampled only while an exit hook is installed,
+/// so hook-free runs take no extra clock reads.
+using SpanEnterHook = void (*)(const char* name);
+using SpanExitHook = void (*)(const char* name, u64 start_ns, u64 end_ns);
+void set_span_enter_hook(SpanEnterHook fn);
+void set_span_exit_hook(SpanExitHook fn);
+SpanEnterHook span_enter_hook();
+SpanExitHook span_exit_hook();
+
 /// RAII trace span. Use via TELEMETRY_SPAN("subsystem.operation"); the name
 /// must be a string literal (stored by pointer, never copied).
 class ScopedSpan {
@@ -74,6 +90,7 @@ class ScopedSpan {
  private:
   const char* name_;
   bool active_;
+  u64 start_ns_ = 0;  ///< sampled only when an exit hook is installed
 };
 
 /// RAII timer recording its elapsed seconds into a telemetry Histogram on

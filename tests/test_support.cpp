@@ -4,6 +4,7 @@
 
 #include <cmath>
 
+#include "support/json.hpp"
 #include "support/rng.hpp"
 #include "support/sim_clock.hpp"
 #include "support/stats.hpp"
@@ -314,6 +315,52 @@ TEST(Table, RendersHeaderAndRows) {
 TEST(Table, RejectsMismatchedRow) {
   Table t({"a", "b"});
   EXPECT_THROW(t.add_row({"only-one"}), Error);
+}
+
+// --------------------------------------------------------------------------
+// JSON: the one escaping implementation + the small parser
+// --------------------------------------------------------------------------
+
+TEST(Json, EscapeCoversQuotesBackslashesAndControlBytes) {
+  EXPECT_EQ(json_escape("plain"), "plain");
+  EXPECT_EQ(json_escape("say \"hi\""), "say \\\"hi\\\"");
+  EXPECT_EQ(json_escape("a\\b"), "a\\\\b");
+  EXPECT_EQ(json_escape("line\nbreak\ttab"), "line\\nbreak\\ttab");
+  EXPECT_EQ(json_escape(std::string(1, '\x01')), "\\u0001");
+  EXPECT_EQ(json_quote("k\"v"), "\"k\\\"v\"");
+}
+
+TEST(Json, ParseRoundTripsEscapedStrings) {
+  const std::string nasty = "name with \"quotes\" and \\backslash\\ and\nnewline";
+  const JsonValue v = parse_json("{" + json_quote(nasty) + ": 1}");
+  ASSERT_TRUE(v.is_object());
+  EXPECT_EQ(v.members().size(), 1u);
+  EXPECT_EQ(v.members()[0].first, nasty);
+  EXPECT_DOUBLE_EQ(v.members()[0].second.as_number(), 1.0);
+}
+
+TEST(Json, ParsesNestedDocuments) {
+  const JsonValue v = parse_json(
+      "{\"a\": [1, 2.5, -3e2], \"b\": {\"c\": true, \"d\": null}, "
+      "\"s\": \"x\"}");
+  EXPECT_DOUBLE_EQ(v.at("a").as_array()[0].as_number(), 1.0);
+  EXPECT_DOUBLE_EQ(v.at("a").as_array()[1].as_number(), 2.5);
+  EXPECT_DOUBLE_EQ(v.at("a").as_array()[2].as_number(), -300.0);
+  EXPECT_TRUE(v.at("b").at("c").as_bool());
+  EXPECT_TRUE(v.at("b").at("d").is_null());
+  EXPECT_EQ(v.at("s").as_string(), "x");
+  EXPECT_EQ(v.get("missing"), nullptr);
+  EXPECT_DOUBLE_EQ(v.number_or("missing", 7.0), 7.0);
+}
+
+TEST(Json, RejectsMalformedInput) {
+  EXPECT_THROW(parse_json(""), Error);
+  EXPECT_THROW(parse_json("{"), Error);
+  EXPECT_THROW(parse_json("{\"a\":}"), Error);
+  EXPECT_THROW(parse_json("[1,]"), Error);
+  EXPECT_THROW(parse_json("1 2"), Error);
+  EXPECT_THROW(parse_json("\"unterminated"), Error);
+  EXPECT_THROW(parse_json("nulL"), Error);
 }
 
 TEST(SimClock, AdvancesMonotonically) {

@@ -337,7 +337,7 @@ TEST_F(TelemetryTest, MetricsJsonSchemaIsStable) {
 
   const std::string json = telemetry::metrics_json();
   EXPECT_TRUE(json_valid(json));
-  EXPECT_NE(json.find("\"schema\":\"antarex.telemetry.metrics/v1\""),
+  EXPECT_NE(json.find("\"schema\":\"antarex.telemetry.metrics/v2\""),
             std::string::npos);
   // Names registered by earlier tests persist (zeroed), so assert on the
   // entry rather than the whole object.
@@ -345,14 +345,37 @@ TEST_F(TelemetryTest, MetricsJsonSchemaIsStable) {
   EXPECT_NE(json.find("\"b.gauge\":{\"last\":1.5,\"min\":1.5,\"max\":1.5,"
                       "\"updates\":1}"),
             std::string::npos);
+  // The single 0.25 sample sits alone in bucket [0, 0.5): interpolated
+  // quantiles walk that bucket linearly.
   EXPECT_NE(json.find("\"c.hist\":{\"lo\":0,\"hi\":1,\"count\":1,\"sum\":0.25,"
-                      "\"mean\":0.25,\"buckets\":[1,0]}"),
+                      "\"mean\":0.25,\"p50\":0.25,\"p95\":0.475,\"p99\":0.495,"
+                      "\"buckets\":[1,0]}"),
             std::string::npos);
   EXPECT_NE(json.find("\"d.series\":{\"count\":1,\"last\":3,\"mean\":3,"
-                      "\"p95\":3,\"ewma\":3}"),
+                      "\"p50\":3,\"p95\":3,\"p99\":3,\"ewma\":3}"),
             std::string::npos);
   EXPECT_NE(json.find("\"trace\":{\"events\":0,\"dropped\":0}"),
             std::string::npos);
+}
+
+TEST_F(TelemetryTest, HistogramQuantilesInterpolateWithinBuckets) {
+  auto& h = Registry::global().histogram("t.quant", 0.0, 100.0, 10);
+  // 100 samples spread uniformly: one per unit value midpoint.
+  for (int i = 0; i < 100; ++i) h.add(static_cast<double>(i) + 0.5);
+  // Uniform mass: quantiles land on q*range exactly.
+  EXPECT_NEAR(h.approx_quantile(0.50), 50.0, 1e-9);
+  EXPECT_NEAR(h.approx_quantile(0.95), 95.0, 1e-9);
+  EXPECT_NEAR(h.approx_quantile(0.99), 99.0, 1e-9);
+  EXPECT_NEAR(h.approx_quantile(0.0), 0.0, 1e-9);
+  EXPECT_NEAR(h.approx_quantile(1.0), 100.0, 1e-9);
+
+  auto& empty = Registry::global().histogram("t.quant_empty", 0.0, 1.0, 4);
+  EXPECT_DOUBLE_EQ(empty.approx_quantile(0.5), 0.0);
+
+  // Quantiles surface in the summary table header.
+  const std::string rendered = telemetry::summary_table().render();
+  EXPECT_NE(rendered.find("p50"), std::string::npos);
+  EXPECT_NE(rendered.find("p99"), std::string::npos);
 }
 
 TEST_F(TelemetryTest, SummaryTableListsEveryMetricKind) {
@@ -367,6 +390,50 @@ TEST_F(TelemetryTest, SummaryTableListsEveryMetricKind) {
        {"a.counter", "b.gauge", "c.hist", "d.series", "counter", "gauge",
         "histogram", "series"})
     EXPECT_NE(rendered.find(needle), std::string::npos) << needle;
+}
+
+// Span hooks: the obs attribution layer's attachment point.
+int g_enters = 0;
+int g_exits = 0;
+u64 g_last_duration_ns = 0;
+
+void count_enter(const char*) { ++g_enters; }
+void count_exit(const char*, u64 start_ns, u64 end_ns) {
+  ++g_exits;
+  g_last_duration_ns = end_ns - start_ns;
+}
+
+TEST_F(TelemetryTest, SpanHooksFireOnEnterAndExit) {
+  g_fake_ns = 0;
+  g_enters = g_exits = 0;
+  Registry::global().trace().set_now_fn(&fake_now_ns);
+  telemetry::set_span_enter_hook(&count_enter);
+  telemetry::set_span_exit_hook(&count_exit);
+  {
+    TELEMETRY_SPAN("hooked");
+    {
+      TELEMETRY_SPAN("hooked.inner");
+    }
+  }
+  telemetry::set_span_enter_hook(nullptr);
+  telemetry::set_span_exit_hook(nullptr);
+  EXPECT_EQ(g_enters, 2);
+  EXPECT_EQ(g_exits, 2);
+  EXPECT_GT(g_last_duration_ns, 0u);
+
+  // Uninstalled hooks stay silent; disabled telemetry never fires hooks.
+  {
+    TELEMETRY_SPAN("unhooked");
+  }
+  telemetry::set_span_enter_hook(&count_enter);
+  telemetry::set_enabled(false);
+  {
+    TELEMETRY_SPAN("disabled");
+  }
+  telemetry::set_span_enter_hook(nullptr);
+  telemetry::set_enabled(true);
+  EXPECT_EQ(g_enters, 2);
+  EXPECT_EQ(g_exits, 2);
 }
 
 TEST_F(TelemetryTest, ScopedTimerFeedsHistogram) {

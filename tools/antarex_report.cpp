@@ -1,0 +1,153 @@
+// antarex-report — render a self-contained HTML report from a run's exported
+// artifacts: the Chrome trace (required), plus the metrics registry dump and
+// the energy-attribution dump when available.
+//
+//   antarex-report <trace.json> [--metrics <metrics.json>]
+//                  [--attribution <attribution.json>] [--title <title>]
+//                  [-o <out.html>]
+//   antarex-report --selftest
+//
+// --selftest renders a report from a synthetic in-process run (used by the
+// test suite; needs no input files) and validates the output shape.
+#include <cstdio>
+#include <cstring>
+#include <fstream>
+#include <sstream>
+#include <string>
+
+#include "obs/report.hpp"
+#include "support/common.hpp"
+#include "telemetry/telemetry.hpp"
+
+namespace {
+
+using namespace antarex;
+
+int usage() {
+  std::fprintf(
+      stderr,
+      "usage: antarex-report <trace.json> [--metrics <metrics.json>]\n"
+      "                      [--attribution <attribution.json>]\n"
+      "                      [--title <title>] [-o <out.html>]\n"
+      "       antarex-report --selftest\n"
+      "\n"
+      "Renders a self-contained HTML report (flame timeline, per-span\n"
+      "summary, metrics tables, energy attribution) from the JSON artifacts\n"
+      "a telemetry-enabled run writes. No scripts, no external fetches —\n"
+      "the output opens anywhere.\n");
+  return 2;
+}
+
+std::string read_file(const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  ANTAREX_REQUIRE(in.good(), "antarex-report: cannot read '" + path + "'");
+  std::ostringstream ss;
+  ss << in.rdbuf();
+  return ss.str();
+}
+
+/// Render from a synthetic run: real spans through the real telemetry
+/// buffer, so the selftest exercises the same path as production traces.
+int selftest() {
+  telemetry::set_enabled(true);
+  {
+    TELEMETRY_SPAN("selftest.outer");
+    for (int i = 0; i < 3; ++i) {
+      TELEMETRY_SPAN("selftest.inner");
+      TELEMETRY_COUNT("selftest.iterations", 1);
+    }
+    TELEMETRY_GAUGE("selftest.gauge", 42.0);
+  }
+  obs::ReportInputs inputs;
+  inputs.title = "antarex-report selftest";
+  inputs.trace_json = telemetry::chrome_trace_json();
+  inputs.metrics_json = telemetry::metrics_json();
+  inputs.attribution_json =
+      "{\"schema\":\"antarex.obs.attribution/v1\",\"interval_s\":0.25,"
+      "\"samples\":4,\"total_joules\":12.5,\"domains\":["
+      "{\"name\":\"package-0\",\"joules\":12.5}],"
+      "\"by_leaf\":[{\"span\":\"selftest.inner\",\"joules\":10.0,"
+      "\"seconds\":0.8,\"samples\":3},{\"span\":\"(unattributed)\","
+      "\"joules\":2.5,\"seconds\":0.2,\"samples\":1}],"
+      "\"by_phase\":[{\"span\":\"selftest.outer\",\"joules\":10.0,"
+      "\"seconds\":0.8,\"samples\":3},{\"span\":\"(unattributed)\","
+      "\"joules\":2.5,\"seconds\":0.2,\"samples\":1}]}";
+  const std::string html = obs::html_report(inputs);
+  const auto has = [&html](const char* needle) {
+    return html.find(needle) != std::string::npos;
+  };
+  ANTAREX_CHECK(has("<!DOCTYPE html>") && has("</html>"), "selftest: not HTML");
+  ANTAREX_CHECK(has("selftest.outer") && has("selftest.inner"),
+                "selftest: spans missing from report");
+  ANTAREX_CHECK(has("Energy attribution") && has("(unattributed)"),
+                "selftest: attribution section missing");
+  ANTAREX_CHECK(has("selftest.iterations"), "selftest: metrics missing");
+  ANTAREX_CHECK(!has("<script"), "selftest: report must not contain scripts");
+  std::printf("antarex-report selftest OK (%zu bytes of HTML)\n", html.size());
+  return 0;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  if (argc >= 2 && std::strcmp(argv[1], "--selftest") == 0) {
+    try {
+      return selftest();
+    } catch (const std::exception& e) {
+      std::fprintf(stderr, "antarex-report: %s\n", e.what());
+      return 1;
+    }
+  }
+  if (argc < 2) return usage();
+
+  obs::ReportInputs inputs;
+  std::string out_path;
+  std::string trace_path;
+  try {
+    for (int i = 1; i < argc; ++i) {
+      const std::string arg = argv[i];
+      const auto value = [&]() -> std::string {
+        ANTAREX_REQUIRE(i + 1 < argc,
+                        "antarex-report: " + arg + " needs a value");
+        return argv[++i];
+      };
+      if (arg == "--metrics") {
+        inputs.metrics_json = read_file(value());
+      } else if (arg == "--attribution") {
+        inputs.attribution_json = read_file(value());
+      } else if (arg == "--title") {
+        inputs.title = value();
+      } else if (arg == "-o" || arg == "--output") {
+        out_path = value();
+      } else if (arg == "--help" || arg == "-h") {
+        usage();
+        return 0;
+      } else if (!arg.empty() && arg[0] == '-') {
+        std::fprintf(stderr, "antarex-report: unknown option '%s'\n",
+                     arg.c_str());
+        return usage();
+      } else if (trace_path.empty()) {
+        trace_path = arg;
+      } else {
+        std::fprintf(stderr, "antarex-report: extra argument '%s'\n",
+                     arg.c_str());
+        return usage();
+      }
+    }
+    if (trace_path.empty()) return usage();
+    inputs.trace_json = read_file(trace_path);
+    if (inputs.title == "antarex run") inputs.title = trace_path;
+    if (out_path.empty()) {
+      out_path = trace_path;
+      const std::size_t dot = out_path.rfind(".json");
+      if (dot != std::string::npos) out_path.erase(dot);
+      out_path += ".html";
+    }
+    telemetry::write_text_file(out_path, obs::html_report(inputs));
+    std::printf("wrote %s\n", out_path.c_str());
+    return 0;
+  } catch (const std::exception& e) {
+    std::fprintf(stderr, "antarex-report: %s\n", e.what());
+    return 1;
+  }
+}

@@ -11,6 +11,10 @@
 // --threads N sets the worker count (default: hardware concurrency). Results
 // are bit-identical for every N — see README "Parallel execution".
 //
+// The global --telemetry=<off|on|trace> flag (any position, any subcommand)
+// enables the telemetry runtime: `on` prints the registry summary after the
+// command, `trace` additionally writes antarex_weave_trace.json.
+//
 // Aspect inputs are passed as strings when quoted ('...'), numbers otherwise.
 // `run` array parameters are not supported from the CLI; use the examples for
 // buffer-based kernels.
@@ -28,6 +32,7 @@
 #include "exec/pool.hpp"
 #include "passes/iterative.hpp"
 #include "support/strings.hpp"
+#include "telemetry/telemetry.hpp"
 #include "vm/compiler.hpp"
 #include "vm/engine.hpp"
 
@@ -50,9 +55,41 @@ int usage() {
       "  run     <app.c> <entry> [int args...]\n"
       "  explore [--threads N] <app.c> <entry> [int args...]\n"
       "  disasm  <app.c> <function>\n"
-      "  check   <app.c>\n",
+      "  check   <app.c>\n"
+      "global flags:\n"
+      "  --telemetry=off|on|trace  off (default): no telemetry; on: print\n"
+      "                            the metrics registry summary; trace: also\n"
+      "                            write antarex_weave_trace.json\n",
       stderr);
   return 2;
+}
+
+/// Strip the global --telemetry flag from argv (any position) and apply it.
+/// Returns the trace-mode decision so main can dump the buffer on exit.
+bool apply_telemetry_flag(int& argc, char** argv) {
+  bool trace = false;
+  int out = 1;
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    if (arg.rfind("--telemetry=", 0) == 0) {
+      const std::string mode = arg.substr(std::strlen("--telemetry="));
+      if (mode == "trace") {
+        trace = true;
+        telemetry::set_enabled(true);
+      } else if (mode == "on") {
+        telemetry::set_enabled(true);
+      } else if (mode == "off") {
+        telemetry::set_enabled(false);
+      } else {
+        throw Error("unknown --telemetry mode '" + mode +
+                    "' (want off|on|trace)");
+      }
+      continue;  // strip
+    }
+    argv[out++] = argv[i];
+  }
+  argc = out;
+  return trace;
 }
 
 dsl::Val parse_input(const std::string& arg) {
@@ -172,15 +209,27 @@ int cmd_check(int argc, char** argv) {
 }  // namespace
 
 int main(int argc, char** argv) {
-  if (argc < 2) return usage();
   try {
+    const bool trace = apply_telemetry_flag(argc, argv);
+    if (argc < 2) return usage();
     const std::string cmd = argv[1];
-    if (cmd == "weave") return cmd_weave(argc - 2, argv + 2);
-    if (cmd == "run") return cmd_run(argc - 2, argv + 2);
-    if (cmd == "explore") return cmd_explore(argc - 2, argv + 2);
-    if (cmd == "disasm") return cmd_disasm(argc - 2, argv + 2);
-    if (cmd == "check") return cmd_check(argc - 2, argv + 2);
-    return usage();
+    int rc = 2;
+    if (cmd == "weave") rc = cmd_weave(argc - 2, argv + 2);
+    else if (cmd == "run") rc = cmd_run(argc - 2, argv + 2);
+    else if (cmd == "explore") rc = cmd_explore(argc - 2, argv + 2);
+    else if (cmd == "disasm") rc = cmd_disasm(argc - 2, argv + 2);
+    else if (cmd == "check") rc = cmd_check(argc - 2, argv + 2);
+    else return usage();
+    if (telemetry::enabled()) {
+      std::puts("\n-- telemetry registry --");
+      telemetry::summary_table().print();
+      if (trace) {
+        telemetry::write_text_file("antarex_weave_trace.json",
+                                   telemetry::chrome_trace_json());
+        std::puts("wrote antarex_weave_trace.json");
+      }
+    }
+    return rc;
   } catch (const std::exception& e) {
     std::fprintf(stderr, "antarex-weave: %s\n", e.what());
     return 1;
