@@ -150,9 +150,11 @@ int main(int argc, char** argv) {
   bench::verdict(
       "dynamic load balancing is critical for docking's unpredictable "
       "imbalance",
-      format("dynamic+autotuned is %.2fx faster in simulation; measured "
-             "run_parallel %.2fx at %d threads, bit-identical to serial",
-             speedup, measured_speedup, threads),
+      // Host wall-clock speedup stays out of this baselined string — it is
+      // exported as the volatile measured_speedup metric instead.
+      format("dynamic+autotuned is %.2fx faster in simulation; run_parallel "
+             "bit-identical to serial at %d threads",
+             speedup, threads),
       speedup > 1.15 && tuned.makespan <= dyn1.makespan + 1e-9 && identical);
   return 0;
 }

@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <chrono>
+#include <cstdint>
 #include <deque>
 #include <exception>
 
@@ -66,20 +67,24 @@ struct ForState {
   std::size_t n = 0;
   std::size_t grain = 1;
   std::atomic<std::size_t> remaining{0};  ///< chunks not yet finished
-  std::atomic<bool> failed{false};
   std::mutex mu;
   std::condition_variable cv;
   bool done = false;
   std::exception_ptr error;
+  std::size_t error_begin = SIZE_MAX;  ///< chunk index of the kept exception
 
   void run_chunk(std::size_t begin, std::size_t end) {
-    if (!failed.load(std::memory_order_relaxed)) {
-      try {
-        body(begin, end);
-      } catch (...) {
-        std::lock_guard<std::mutex> lock(mu);
-        if (!error) error = std::current_exception();
-        failed.store(true, std::memory_order_relaxed);
+    // Every chunk always runs — no fast-skip after a failure. The caller is
+    // owed the *deterministic* first exception (lowest chunk index), not
+    // whichever one a race surfaced first; with all chunks executed, the
+    // lowest-index error is well defined across runs and thread counts.
+    try {
+      body(begin, end);
+    } catch (...) {
+      std::lock_guard<std::mutex> lock(mu);
+      if (begin < error_begin) {
+        error_begin = begin;
+        error = std::current_exception();
       }
     }
     if (remaining.fetch_sub(1, std::memory_order_acq_rel) == 1) {
@@ -179,6 +184,11 @@ void ThreadPool::submit_to(std::size_t worker, Task* t) {
 void ThreadPool::wake_all() {
   std::lock_guard<std::mutex> lock(wake_mu_);
   wake_cv_.notify_all();
+}
+
+void ThreadPool::note_retry() {
+  retries_.fetch_add(1, std::memory_order_relaxed);
+  TELEMETRY_COUNT("exec.task_retries", 1);
 }
 
 void ThreadPool::parallel_for(
@@ -304,10 +314,12 @@ PoolStats ThreadPool::stats() const {
     s.steals += w->steals.load(std::memory_order_relaxed);
     s.inline_runs += w->inline_runs.load(std::memory_order_relaxed);
   }
+  s.retries = retries_.load(std::memory_order_relaxed);
   return s;
 }
 
 void ThreadPool::reset_stats() {
+  retries_.store(0, std::memory_order_relaxed);
   for (auto& w : workers_) {
     w->busy_ns.store(0, std::memory_order_relaxed);
     w->tasks.store(0, std::memory_order_relaxed);

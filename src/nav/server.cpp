@@ -21,6 +21,40 @@ NavServer::NavServer(const RoadGraph& graph, const SpeedProfiles& profiles,
   ANTAREX_REQUIRE(workers_ >= 1, "NavServer: need at least one worker");
 }
 
+void NavServer::set_degradation(Degradation d) {
+  ANTAREX_REQUIRE(d.healthy_workers == -1 ||
+                      (d.healthy_workers >= 1 && d.healthy_workers <= workers_),
+                  "NavServer: healthy_workers out of range");
+  ANTAREX_REQUIRE(d.shed_backlog >= 1, "NavServer: shed_backlog must be >= 1");
+  ANTAREX_REQUIRE(d.stale_service_s >= 0.0,
+                  "NavServer: negative stale service cost");
+  degradation_ = d;
+}
+
+bool NavServer::try_degraded(const Request& req, std::size_t backlog,
+                             ServedRequest& served) {
+  if (backlog < degradation_.shed_backlog) return false;
+  if (degradation_.serve_stale) {
+    const auto hit = quality_cache_.find({req.from, req.to});
+    if (hit != quality_cache_.end()) {
+      served.stale = true;
+      served.service_s = degradation_.stale_service_s;
+      served.quality = hit->second;
+      TELEMETRY_COUNT("nav.requests_stale", 1);
+      return true;
+    }
+  }
+  served.shed = true;
+  served.service_s = 0.0;
+  served.quality = 0.0;
+  TELEMETRY_COUNT("nav.requests_shed", 1);
+  return true;
+}
+
+void NavServer::remember(const ServedRequest& served) {
+  quality_cache_[{served.request.from, served.request.to}] = served.quality;
+}
+
 void NavServer::compute_route(const Request& req, const ServerKnobs& knobs,
                               ServedRequest& served) const {
   u64 expanded = 0;
@@ -66,9 +100,13 @@ std::vector<ServedRequest> NavServer::serve(const std::vector<Request>& requests
   std::vector<ServedRequest> out;
   out.reserve(requests.size());
 
-  // Worker pool as a min-heap of next-free times.
+  // Worker pool as a min-heap of next-free times. Crashed handlers
+  // (degradation.healthy_workers) simply never contribute a slot.
+  const int live_workers = degradation_.healthy_workers == -1
+                               ? workers_
+                               : degradation_.healthy_workers;
   std::priority_queue<double, std::vector<double>, std::greater<>> free_at;
-  for (int w = 0; w < workers_; ++w) free_at.push(0.0);
+  for (int w = 0; w < live_workers; ++w) free_at.push(0.0);
 
   // Queue length accounting: arrivals not yet started.
   std::vector<double> start_times;
@@ -81,10 +119,6 @@ std::vector<ServedRequest> NavServer::serve(const std::vector<Request>& requests
 
   for (const Request& req : requests) {
     TELEMETRY_SPAN("nav.request");
-    const double worker_free = free_at.top();
-    free_at.pop();
-    const double start = std::max(req.arrival_s, worker_free);
-
     // Queue length seen on arrival: requests that started after this arrival
     // is an approximation; use backlog = number of pending starts > arrival.
     std::size_t backlog = 0;
@@ -94,17 +128,28 @@ std::vector<ServedRequest> NavServer::serve(const std::vector<Request>& requests
     const ServerKnobs knobs = policy(backlog, req.arrival_s);
     ANTAREX_REQUIRE(knobs.k_routes >= 1, "NavServer: policy produced k < 1");
 
-    // Run the actual routing computation.
     ServedRequest served;
     served.request = req;
     served.knobs_used = knobs;
-    compute_route(req, knobs, served);
-    served.queue_wait_s = start - req.arrival_s;
-    served.latency_s = served.queue_wait_s + served.service_s;
 
-    const double finish = start + served.service_s;
-    free_at.push(finish);
-    start_times.push_back(start);
+    if (try_degraded(req, backlog, served)) {
+      // Answered (or dropped) at the front door: no worker slot consumed.
+      served.queue_wait_s = 0.0;
+      served.latency_s = served.service_s;
+    } else {
+      const double worker_free = free_at.top();
+      free_at.pop();
+      const double start = std::max(req.arrival_s, worker_free);
+
+      // Run the actual routing computation.
+      compute_route(req, knobs, served);
+      remember(served);
+      served.queue_wait_s = start - req.arrival_s;
+      served.latency_s = served.queue_wait_s + served.service_s;
+
+      free_at.push(start + served.service_s);
+      start_times.push_back(start);
+    }
 
     TELEMETRY_COUNT("nav.requests", 1);
     TELEMETRY_COUNT("nav.nodes_expanded", served.expanded);
@@ -145,6 +190,7 @@ ConcurrentServeResult NavServer::serve_concurrent(
     window.pop_front();
     fut.get();  // rethrows if the routing computation threw
     ServedRequest& served = out.served[idx];
+    remember(served);
     served.latency_s = served.service_s;  // no virtual queue in this mode
     TELEMETRY_COUNT("nav.requests", 1);
     TELEMETRY_COUNT("nav.nodes_expanded", served.expanded);
@@ -165,6 +211,18 @@ ConcurrentServeResult NavServer::serve_concurrent(
     ServedRequest& served = out.served[i];
     served.request = requests[i];
     served.knobs_used = knobs;
+
+    if (try_degraded(requests[i], backlog, served)) {
+      // Degraded answers never enter the pool; they are final immediately.
+      // (The observer therefore sees them at admission time, slightly ahead
+      // of still-in-flight earlier requests — a deterministic order either
+      // way, since backlog depends only on i and max_in_flight.)
+      served.latency_s = served.service_s;
+      TELEMETRY_COUNT("nav.requests", 1);
+      latency_hist.add(served.latency_s);
+      if (observer) observer(served);
+      continue;
+    }
 
     window.emplace_back(i, pool.async([this, &served, i, knobs, &requests] {
       TELEMETRY_SPAN("nav.request");

@@ -13,7 +13,10 @@
 //    matching backlog sequence; wall-clock figures are measured.
 #pragma once
 
+#include <cstdint>
 #include <functional>
+#include <map>
+#include <utility>
 
 #include "exec/pool.hpp"
 #include "nav/nav.hpp"
@@ -35,6 +38,8 @@ struct ServedRequest {
   double quality = 1.0;        ///< optimal_time / returned_time, in (0, 1]
   u64 expanded = 0;
   ServerKnobs knobs_used;
+  bool shed = false;           ///< dropped under overload (no route computed)
+  bool stale = false;          ///< answered from the stale-route cache
 };
 
 /// Outcome of serve_concurrent: per-request results in submission order plus
@@ -52,6 +57,22 @@ class NavServer {
   /// simulated machine); workers: parallel request handlers.
   NavServer(const RoadGraph& graph, const SpeedProfiles& profiles,
             double cost_per_expansion_s = 2e-6, int workers = 2);
+
+  /// Graceful degradation under faults/overload (antarex::fault). When the
+  /// backlog at a request's arrival reaches shed_backlog, the server stops
+  /// computing fresh routes: if serve_stale and the (from, to) pair was
+  /// answered before, the cached answer is returned at a fixed tiny cost
+  /// (stale = true); otherwise the request is shed (quality 0, no compute,
+  /// shed = true). healthy_workers (serve() mode only) models crashed request
+  /// handlers: the virtual worker pool shrinks to that many slots.
+  struct Degradation {
+    int healthy_workers = -1;               ///< -1: all workers healthy
+    std::size_t shed_backlog = SIZE_MAX;    ///< SIZE_MAX: never degrade
+    bool serve_stale = true;
+    double stale_service_s = 1e-5;          ///< cost of a cache hit
+  };
+  void set_degradation(Degradation d);
+  const Degradation& degradation() const { return degradation_; }
 
   /// Knob policy consulted per request. Inputs: current queue length at the
   /// request's arrival and the time of day — enough for both static policies
@@ -89,10 +110,18 @@ class NavServer {
   void compute_route(const Request& req, const ServerKnobs& knobs,
                      ServedRequest& served) const;
 
+  /// Degraded-mode answer for one request (stale cache hit or shed). Returns
+  /// false when the request must be computed normally.
+  bool try_degraded(const Request& req, std::size_t backlog,
+                    ServedRequest& served);
+  void remember(const ServedRequest& served);
+
   const RoadGraph& graph_;
   const SpeedProfiles& profiles_;
   double unit_cost_s_;
   int workers_;
+  Degradation degradation_;
+  std::map<std::pair<u32, u32>, double> quality_cache_;  ///< od-pair → quality
 };
 
 }  // namespace antarex::nav

@@ -20,9 +20,12 @@ void RaplDomain::accumulate(double power_w, double dt_s) {
 }
 
 u32 RaplDomain::counter_uj() const {
-  const double uj = total_j_ * 1e6;
-  // Wraps every 2^32 uJ (~4295 J), as the real 32-bit MSR does.
-  return static_cast<u32>(std::fmod(uj, 4294967296.0));
+  const double uj = (total_j_ + reading_offset_j_) * 1e6;
+  // Wraps every 2^32 uJ (~4295 J), as the real 32-bit MSR does. A negative
+  // glitched reading folds into the wrap, exactly as MSR arithmetic would.
+  const double wrapped = std::fmod(std::fmod(uj, 4294967296.0) + 4294967296.0,
+                                   4294967296.0);
+  return static_cast<u32>(wrapped);
 }
 
 double RaplDomain::delta_j(u32 before, u32 after) {
@@ -30,7 +33,10 @@ double RaplDomain::delta_j(u32 before, u32 after) {
   return static_cast<double>(delta) * 1e-6;
 }
 
-void RaplDomain::reset() { total_j_ = 0.0; }
+void RaplDomain::reset() {
+  total_j_ = 0.0;
+  reading_offset_j_ = 0.0;
+}
 
 EnergySample::EnergySample(const RaplDomain& domain)
     : domain_(domain), start_(domain.counter_uj()) {}

@@ -30,12 +30,22 @@ class RaplDomain {
   /// Non-wrapping total (ground truth for tests/benches).
   double total_j() const { return total_j_; }
 
+  /// Transient sensor glitch: offsets counter_uj() readings by `joules`
+  /// until cleared (0 restores honest readings). Ground truth (total_j) is
+  /// untouched — a glitch corrupts what consumers *see*, never the plant's
+  /// energy books, so conservation invariants survive injection. Installed by
+  /// antarex::fault; injectors must also call
+  /// telemetry::mark_samples_poisoned() so measuring consumers can discard.
+  void set_reading_offset_j(double joules) { reading_offset_j_ = joules; }
+  double reading_offset_j() const { return reading_offset_j_; }
+
   const std::string& name() const { return name_; }
   void reset();
 
  private:
   std::string name_;
   double total_j_ = 0.0;
+  double reading_offset_j_ = 0.0;
 };
 
 /// Convenience sampler: read-before / read-after energy measurement, the

@@ -2,6 +2,7 @@
 
 #include <algorithm>
 
+#include "exec/pool.hpp"
 #include "telemetry/telemetry.hpp"
 
 namespace antarex::rtrm {
@@ -21,9 +22,31 @@ Node& Cluster::add_node(Node node) {
   return nodes_.back();
 }
 
+void Cluster::fail_node(std::size_t i) {
+  ANTAREX_REQUIRE(i < nodes_.size(), "Cluster: node index out of range");
+  if (nodes_[i].failed()) return;
+  dispatcher_.on_node_failed(nodes_[i].fail(), clock_.now());
+  TELEMETRY_COUNT("rtrm.node_crashes", 1);
+  TELEMETRY_GAUGE("rtrm.nodes_down", static_cast<double>(nodes_down()));
+}
+
+void Cluster::repair_node(std::size_t i) {
+  ANTAREX_REQUIRE(i < nodes_.size(), "Cluster: node index out of range");
+  if (!nodes_[i].failed()) return;
+  nodes_[i].repair();
+  TELEMETRY_COUNT("rtrm.node_repairs", 1);
+  TELEMETRY_GAUGE("rtrm.nodes_down", static_cast<double>(nodes_down()));
+}
+
+std::size_t Cluster::nodes_down() const {
+  return static_cast<std::size_t>(std::count_if(
+      nodes_.begin(), nodes_.end(), [](const Node& n) { return n.failed(); }));
+}
+
 void Cluster::control_step() {
   TELEMETRY_SPAN("rtrm.control_step");
   for (auto& node : nodes_) {
+    if (node.failed()) continue;  // no governor/guard action on a dead node
     const double base_share =
         node.device_count() > 0
             ? node.base_power_w() / static_cast<double>(node.device_count())
@@ -39,6 +62,8 @@ void Cluster::control_step() {
 void Cluster::run_for(double duration_s, double dt_s) {
   ANTAREX_REQUIRE(duration_s >= 0.0 && dt_s > 0.0, "Cluster: bad run parameters");
   const double end = clock_.now() + duration_s;
+  std::vector<std::vector<u64>> finished(nodes_.size());
+  std::vector<double> node_power(nodes_.size(), 0.0);
   while (clock_.now() < end - 1e-12) {
     const double step = std::min(dt_s, end - clock_.now());
 
@@ -48,11 +73,27 @@ void Cluster::run_for(double duration_s, double dt_s) {
       next_control_s_ = clock_.now() + config_.control_period_s;
     }
 
+    // Node state is disjoint, so nodes step independently — in parallel when
+    // a pool is attached. Completions and power are committed serially in
+    // node-index order either way, keeping the run bit-identical across pool
+    // sizes (and to the serial path).
+    finished.resize(nodes_.size());
+    node_power.resize(nodes_.size());
+    const auto step_node = [&](std::size_t b, std::size_t e) {
+      for (std::size_t i = b; i < e; ++i) {
+        finished[i] = nodes_[i].step(step, config_.ambient_c);
+        node_power[i] = nodes_[i].power_w();
+      }
+    };
+    if (pool_ && nodes_.size() > 1) {
+      pool_->parallel_for(nodes_.size(), 1, step_node);
+    } else {
+      step_node(0, nodes_.size());
+    }
     double it_power = 0.0;
-    for (auto& node : nodes_) {
-      for (u64 id : node.step(step, config_.ambient_c))
-        dispatcher_.on_finished(id, clock_.now() + step);
-      it_power += node.power_w();
+    for (std::size_t i = 0; i < nodes_.size(); ++i) {
+      for (u64 id : finished[i]) dispatcher_.on_finished(id, clock_.now() + step);
+      it_power += node_power[i];
     }
 
     clock_.advance(step);
@@ -74,7 +115,8 @@ void Cluster::run_for(double duration_s, double dt_s) {
     // obs thermal.throttle_alert policy watches.
     TELEMETRY_GAUGE("rtrm.thermal_headroom_c", config_.t_crit_c - step_max_c);
     telemetry_.jobs_completed = dispatcher_.completed();
-    if (step_observer_) step_observer_(clock_.now(), it_power, step);
+    telemetry_.jobs_failed = dispatcher_.failed();
+    for (auto& obs : step_observers_) obs(clock_.now(), it_power, step);
   }
 }
 

@@ -16,6 +16,10 @@
 #include "rtrm/node.hpp"
 #include "support/sim_clock.hpp"
 
+namespace antarex::exec {
+class ThreadPool;
+}
+
 namespace antarex::rtrm {
 
 struct ClusterConfig {
@@ -36,6 +40,7 @@ struct ClusterTelemetry {
   double peak_it_power_w = 0.0;
   double max_temperature_c = 0.0;
   u64 jobs_completed = 0;
+  u64 jobs_failed = 0;  ///< jobs that exhausted their retry budget
 };
 
 class Cluster {
@@ -54,6 +59,21 @@ class Cluster {
 
   void submit(Job job) { dispatcher_.submit(std::move(job)); }
 
+  // --- failures (driven by antarex::fault) -----------------------------------
+  /// Crash node i at the current virtual time: its running jobs are
+  /// interrupted and handed to the dispatcher for checkpoint rollback and
+  /// backoff requeue (or Failed past their retry budget).
+  void fail_node(std::size_t i);
+  /// Bring node i back online; it accepts work again on the next place().
+  void repair_node(std::size_t i);
+  std::size_t nodes_down() const;
+
+  /// Step the plant's nodes on a thread pool (grain = one node per task).
+  /// Completions are still committed serially in node-index order, so the
+  /// simulation stays bit-identical to the serial path for any pool size.
+  /// Pass nullptr to return to serial stepping.
+  void set_pool(exec::ThreadPool* pool) { pool_ = pool; }
+
   /// Advance the simulation by `duration_s` in steps of `dt_s`, running the
   /// control loops every config.control_period_s.
   void run_for(double duration_s, double dt_s = 0.25);
@@ -64,9 +84,19 @@ class Cluster {
 
   /// Observe every simulation step after it lands:
   /// fn(now_s, it_power_w, dt_s). Lets the obs layer drive energy sampling
-  /// and policy ticks off the simulation clock. Pass nullptr to detach.
+  /// and policy ticks off the simulation clock. Pass nullptr to detach all
+  /// observers installed through either setter.
   void set_step_observer(std::function<void(double, double, double)> fn) {
-    step_observer_ = std::move(fn);
+    step_observers_.clear();
+    if (fn) step_observers_.push_back(std::move(fn));
+  }
+
+  /// Attach an additional observer without displacing existing ones — the
+  /// fault injector and the obs sampler can watch the same cluster. Observers
+  /// fire in attachment order, on the simulation thread.
+  void add_step_observer(std::function<void(double, double, double)> fn) {
+    ANTAREX_REQUIRE(fn != nullptr, "Cluster: null step observer");
+    step_observers_.push_back(std::move(fn));
   }
 
   double now_s() const { return clock_.now(); }
@@ -87,7 +117,8 @@ class Cluster {
   SimClock clock_;
   double next_control_s_ = 0.0;
   ClusterTelemetry telemetry_;
-  std::function<void(double, double, double)> step_observer_;
+  std::vector<std::function<void(double, double, double)>> step_observers_;
+  exec::ThreadPool* pool_ = nullptr;
 };
 
 }  // namespace antarex::rtrm

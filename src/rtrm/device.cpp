@@ -1,5 +1,7 @@
 #include "rtrm/device.hpp"
 
+#include <algorithm>
+
 #include "telemetry/telemetry.hpp"
 
 namespace antarex::rtrm {
@@ -32,13 +34,41 @@ std::optional<u64> Device::running_job() const {
   return job_id_;
 }
 
+void Device::force_throttle(double duration_s) {
+  ANTAREX_REQUIRE(duration_s >= 0.0, "Device: negative throttle duration");
+  throttle_hold_s_ = std::max(throttle_hold_s_, duration_s);
+  TELEMETRY_COUNT("rtrm.forced_throttles", 1);
+}
+
+void Device::set_slowdown(double factor) {
+  ANTAREX_REQUIRE(factor >= 1.0, "Device: slowdown factor must be >= 1");
+  slowdown_ = factor;
+}
+
+std::optional<std::pair<u64, double>> Device::interrupt() {
+  if (!busy()) return std::nullopt;
+  const std::pair<u64, double> lost{job_id_, units_remaining_};
+  units_remaining_ = 0.0;
+  ++interrupted_;
+  TELEMETRY_COUNT("rtrm.jobs.interrupted", 1);
+  return lost;
+}
+
+void Device::step_offline(double dt_s, double ambient_c) {
+  ANTAREX_REQUIRE(dt_s > 0.0, "Device: non-positive time step");
+  ANTAREX_CHECK(!busy(), "Device: offline step with a job still assigned");
+  throttle_hold_s_ = std::max(0.0, throttle_hold_s_ - dt_s);
+  rapl_.accumulate(0.0, dt_s);
+  thermal_.step(0.0, ambient_c, dt_s);
+}
+
 std::optional<u64> Device::step(double dt_s, double ambient_c) {
   ANTAREX_REQUIRE(dt_s > 0.0, "Device: non-positive time step");
   std::optional<u64> finished;
 
   double active_s = 0.0;
   if (busy()) {
-    const double unit_time = workload_.execution_time_s(op());
+    const double unit_time = workload_.execution_time_s(op()) * slowdown_;
     const double progress = dt_s / unit_time;
     if (progress >= units_remaining_) {
       active_s = units_remaining_ * unit_time;
@@ -66,6 +96,7 @@ std::optional<u64> Device::step(double dt_s, double ambient_c) {
 
   rapl_.accumulate(energy / dt_s, dt_s);
   thermal_.step(energy / dt_s, ambient_c, dt_s);
+  throttle_hold_s_ = std::max(0.0, throttle_hold_s_ - dt_s);
   return finished;
 }
 

@@ -7,6 +7,7 @@
 
 #include <optional>
 #include <string>
+#include <utility>
 
 #include "power/dvfs.hpp"
 #include "power/model.hpp"
@@ -27,9 +28,36 @@ class Device {
 
   // --- operating point ------------------------------------------------------
   std::size_t op_index() const { return op_index_; }
-  const power::OperatingPoint& op() const { return spec().dvfs.at(op_index_); }
+  /// Effective operating point: the governor's choice, unless a forced
+  /// thermal throttle (PROCHOT-style, injected by antarex::fault) is active —
+  /// hardware throttling overrides any OS/governor decision.
+  const power::OperatingPoint& op() const {
+    return spec().dvfs.at(throttled() ? 0 : op_index_);
+  }
   void set_op_index(std::size_t i);
   std::size_t num_ops() const { return spec().dvfs.size(); }
+
+  // --- fault state ----------------------------------------------------------
+  /// Force the lowest P-state for the next `duration_s` of simulated time
+  /// regardless of governor decisions (an injected thermal-throttle event).
+  void force_throttle(double duration_s);
+  bool throttled() const { return throttle_hold_s_ > 0.0; }
+
+  /// Degrade execution speed by `factor` (>= 1; 1 restores nominal). Models a
+  /// slow node: same power draw per active second, `factor` times the time —
+  /// the silent performance faults PowerStack-style runtimes must detect.
+  void set_slowdown(double factor);
+  double slowdown() const { return slowdown_; }
+
+  /// Node crash support: drop the assigned job without completing it.
+  /// Returns (job id, units still unfinished) if one was running.
+  std::optional<std::pair<u64, double>> interrupt();
+
+  /// Advance only the thermal state with zero power draw (the node lost
+  /// power). No energy is accumulated; the die cools toward ambient.
+  void step_offline(double dt_s, double ambient_c);
+
+  u64 interrupted_jobs() const { return interrupted_; }
 
   // --- work assignment ------------------------------------------------------
   /// Assign `units` of work characterized by `w`. Fails if busy.
@@ -50,6 +78,8 @@ class Device {
 
   double temperature_c() const { return thermal_.temperature_c(); }
   const power::RaplDomain& rapl() const { return rapl_; }
+  /// Mutable counter access for sensor-glitch injection (antarex::fault).
+  power::RaplDomain& rapl() { return rapl_; }
   double busy_seconds() const { return busy_seconds_; }
   u64 completed_jobs() const { return completed_; }
 
@@ -65,6 +95,9 @@ class Device {
   u64 job_id_ = 0;
   double busy_seconds_ = 0.0;
   u64 completed_ = 0;
+  u64 interrupted_ = 0;
+  double throttle_hold_s_ = 0.0;
+  double slowdown_ = 1.0;
 };
 
 }  // namespace antarex::rtrm

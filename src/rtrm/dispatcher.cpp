@@ -1,6 +1,7 @@
 #include "rtrm/dispatcher.hpp"
 
 #include <algorithm>
+#include <cmath>
 
 #include "power/model.hpp"
 #include "telemetry/telemetry.hpp"
@@ -30,15 +31,16 @@ Device* Dispatcher::choose_device(std::vector<Node>& nodes, const Job& job) cons
   Device* best = nullptr;
   double best_score = 0.0;
   for (auto& node : nodes) {
+    if (node.failed()) continue;  // a downed node accepts no work
     for (auto& d : node.devices()) {
       if (d.busy() || !job.can_run_on(d.spec().type)) continue;
       if (policy_ == PlacementPolicy::FirstFit) return &d;
       const power::WorkloadModel& w = job.profile(d.spec().type);
       double score = 0.0;
       if (policy_ == PlacementPolicy::FastestFirst) {
-        score = w.execution_time_s(d.op()) * job.units;
+        score = w.execution_time_s(d.op()) * d.slowdown() * job.units_remaining();
       } else {  // EnergyAware
-        score = power::energy_j(d.power_model(), w, d.op(), job.units,
+        score = power::energy_j(d.power_model(), w, d.op(), job.units_remaining(),
                                 d.temperature_c());
       }
       if (!best || score < best_score) {
@@ -54,24 +56,36 @@ void Dispatcher::start(Job job, Device& device, double now_s) {
   job.state = JobState::Running;
   job.start_time_s = now_s;
   job.device_name = device.name();
-  device.assign(job.profile(device.spec().type), job.units, job.id);
+  // Resume from the last checkpoint: only the unfinished units are assigned.
+  device.assign(job.profile(device.spec().type), job.units_remaining(), job.id);
+  emit("dispatch", job.id, now_s);
   running_.push_back(std::move(job));
   TELEMETRY_COUNT("rtrm.jobs.dispatched", 1);
 }
 
 double Dispatcher::predicted_remaining_s(const Device& d) {
   if (!d.busy()) return 0.0;
-  return d.units_remaining() * d.workload().execution_time_s(d.op());
+  return d.units_remaining() * d.workload().execution_time_s(d.op()) *
+         d.slowdown();
 }
 
 void Dispatcher::place(std::vector<Node>& nodes, double now_s) {
   TELEMETRY_SPAN("rtrm.dispatch");
-  while (!queue_.empty()) {
-    Job& head = queue_.front();
+  // FCFS over the *eligible* queue: jobs still in crash backoff are skipped
+  // without blocking the jobs behind them.
+  auto first_eligible = [&]() {
+    return std::find_if(queue_.begin(), queue_.end(), [&](const Job& j) {
+      return j.not_before_s <= now_s;
+    });
+  };
+  while (true) {
+    auto head_it = first_eligible();
+    if (head_it == queue_.end()) break;
+    Job& head = *head_it;
     Device* d = choose_device(nodes, head);
     if (d) {
       start(std::move(head), *d, now_s);
-      queue_.pop_front();
+      queue_.erase(head_it);
       continue;
     }
     if (!backfill_) break;  // plain FCFS: head blocks
@@ -81,6 +95,7 @@ void Dispatcher::place(std::vector<Node>& nodes, double now_s) {
     const Device* reserved = nullptr;
     double reservation_s = 0.0;
     for (auto& node : nodes) {
+      if (node.failed()) continue;
       for (auto& dev : node.devices()) {
         if (!head.can_run_on(dev.spec().type)) continue;
         const double rem = predicted_remaining_s(dev);
@@ -97,7 +112,8 @@ void Dispatcher::place(std::vector<Node>& nodes, double now_s) {
     // device itself is busy (that is why the head waits), so "other free
     // devices" is the whole opportunity set.
     bool placed_any = false;
-    for (auto it = std::next(queue_.begin()); it != queue_.end(); ++it) {
+    for (auto it = std::next(head_it); it != queue_.end(); ++it) {
+      if (it->not_before_s > now_s) continue;  // backoff: not eligible yet
       Device* fit = choose_device(nodes, *it);
       if (!fit || fit == reserved) continue;
       start(std::move(*it), *fit, now_s);
@@ -119,9 +135,50 @@ void Dispatcher::on_finished(u64 job_id, double now_s) {
                   "Dispatcher: completion for a job that is not running");
   it->state = JobState::Done;
   it->finish_time_s = now_s;
+  it->units_done = it->units;
   TELEMETRY_COUNT("rtrm.jobs.completed", 1);
+  emit("finish", job_id, now_s);
   done_.push_back(std::move(*it));
   running_.erase(it);
+}
+
+void Dispatcher::on_node_failed(
+    const std::vector<std::pair<u64, double>>& interrupted, double now_s) {
+  for (const auto& [job_id, units_unfinished] : interrupted) {
+    const auto it = std::find_if(running_.begin(), running_.end(),
+                                 [&](const Job& j) { return j.id == job_id; });
+    ANTAREX_REQUIRE(it != running_.end(),
+                    "Dispatcher: crash report for a job that is not running");
+    Job job = std::move(*it);
+    running_.erase(it);
+
+    // Roll progress back to the last durable checkpoint. The device reports
+    // units still unfinished for *this* assignment; anything beyond the
+    // checkpoint granularity is lost.
+    const double assigned = job.units_remaining();
+    const double progressed = std::max(0.0, assigned - units_unfinished);
+    if (job.checkpoint_units > 0.0)
+      job.units_done +=
+          std::floor(progressed / job.checkpoint_units) * job.checkpoint_units;
+
+    ++job.attempts;
+    if (job.attempts > job.max_attempts) {
+      job.state = JobState::Failed;
+      job.finish_time_s = now_s;
+      TELEMETRY_COUNT("rtrm.jobs.failed", 1);
+      emit("fail", job_id, now_s);
+      failed_.push_back(std::move(job));
+      continue;
+    }
+    job.state = JobState::Queued;
+    job.device_name.clear();
+    job.not_before_s =
+        now_s + backoff_base_s_ * std::ldexp(1.0, job.attempts - 1);
+    ++requeued_;
+    TELEMETRY_COUNT("rtrm.jobs.requeued", 1);
+    emit("requeue", job_id, now_s);
+    queue_.push_back(std::move(job));
+  }
 }
 
 }  // namespace antarex::rtrm

@@ -11,7 +11,7 @@
 
 namespace antarex::rtrm {
 
-enum class JobState { Queued, Running, Done };
+enum class JobState { Queued, Running, Done, Failed };
 
 /// A unit of schedulable work. The same job costs differently on different
 /// device types ("different tasks might be more efficient on different types
@@ -28,6 +28,24 @@ struct Job {
   double start_time_s = 0.0;
   double finish_time_s = 0.0;
   std::string device_name;  ///< where it ran (once running/done)
+
+  // --- resilience (antarex::fault) -----------------------------------------
+  /// Checkpoint granularity in work units. 0 disables checkpointing: a job
+  /// interrupted by a node crash restarts from scratch. With g > 0, progress
+  /// is durable in multiples of g — an interrupted job resumes from the last
+  /// whole checkpoint.
+  double checkpoint_units = 0.0;
+  /// Work units already banked by checkpoints (restored on restart).
+  double units_done = 0.0;
+  /// Crash-restart count so far; the dispatcher applies exponential backoff
+  /// per attempt and gives up (state = Failed) past max_attempts.
+  int attempts = 0;
+  int max_attempts = 4;
+  /// Failure-aware rescheduling: not eligible for placement before this time.
+  double not_before_s = 0.0;
+
+  /// Work still owed (total minus banked checkpoints).
+  double units_remaining() const { return units - units_done; }
 
   bool can_run_on(power::DeviceType t) const { return profiles.contains(t); }
   const power::WorkloadModel& profile(power::DeviceType t) const;

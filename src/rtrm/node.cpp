@@ -24,6 +24,13 @@ const Device& Node::device(std::size_t i) const {
 
 std::vector<u64> Node::step(double dt_s, double ambient_c) {
   std::vector<u64> finished;
+  if (failed_) {
+    // Powered off: no progress, no draw; the silicon cools toward ambient.
+    for (auto& d : devices_) d.step_offline(dt_s, ambient_c);
+    rapl_.accumulate(0.0, dt_s);
+    downtime_s_ += dt_s;
+    return finished;
+  }
   for (auto& d : devices_) {
     if (auto job = d.step(dt_s, ambient_c)) finished.push_back(*job);
   }
@@ -31,7 +38,20 @@ std::vector<u64> Node::step(double dt_s, double ambient_c) {
   return finished;
 }
 
+std::vector<std::pair<u64, double>> Node::fail() {
+  std::vector<std::pair<u64, double>> interrupted;
+  if (failed_) return interrupted;
+  failed_ = true;
+  ++crashes_;
+  for (auto& d : devices_)
+    if (auto lost = d.interrupt()) interrupted.push_back(*lost);
+  return interrupted;
+}
+
+void Node::repair() { failed_ = false; }
+
 double Node::power_w() const {
+  if (failed_) return 0.0;
   double p = base_power_w_;
   for (const auto& d : devices_) p += d.power_w();
   return p;

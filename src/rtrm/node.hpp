@@ -1,7 +1,12 @@
 // A compute node: a set of heterogeneous devices plus node-level overhead
 // power (memory, NIC, fans, VRs).
+//
+// A node can crash (antarex::fault injects Weibull-MTBF failures): while
+// failed it draws no power, makes no progress, and its devices cool toward
+// ambient; fail() hands the interrupted jobs back for rescheduling.
 #pragma once
 
+#include <utility>
 #include <vector>
 
 #include "power/rapl.hpp"
@@ -31,15 +36,30 @@ class Node {
 
   /// Node-level energy counter (sum of device RAPL + base overhead).
   const power::RaplDomain& rapl() const { return rapl_; }
+  /// Mutable counter access for sensor-glitch injection (antarex::fault).
+  power::RaplDomain& rapl() { return rapl_; }
 
   /// Aggregate peak compute at the devices' current operating points.
   double peak_gflops() const;
+
+  // --- failure state --------------------------------------------------------
+  /// Crash the node: every running job is interrupted and returned as
+  /// (job id, units unfinished) for the dispatcher to reschedule. Idempotent
+  /// (a second fail() on a downed node returns nothing).
+  std::vector<std::pair<u64, double>> fail();
+  void repair();
+  bool failed() const { return failed_; }
+  u64 crashes() const { return crashes_; }
+  double downtime_s() const { return downtime_s_; }
 
  private:
   std::string name_;
   double base_power_w_;
   std::vector<Device> devices_;
   power::RaplDomain rapl_;
+  bool failed_ = false;
+  u64 crashes_ = 0;
+  double downtime_s_ = 0.0;
 };
 
 }  // namespace antarex::rtrm

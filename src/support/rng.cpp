@@ -77,6 +77,14 @@ double Rng::exponential(double lambda) {
   return -std::log(u) / lambda;
 }
 
+double Rng::weibull(double shape, double scale) {
+  ANTAREX_REQUIRE(shape > 0.0 && scale > 0.0,
+                  "Rng::weibull: parameters must be > 0");
+  double u = uniform();
+  while (u <= 0.0) u = uniform();
+  return scale * std::pow(-std::log(u), 1.0 / shape);
+}
+
 double Rng::pareto(double x_m, double alpha) {
   ANTAREX_REQUIRE(x_m > 0.0 && alpha > 0.0, "Rng::pareto: parameters must be > 0");
   double u = uniform();

@@ -54,6 +54,11 @@ class Rng {
   /// Exponential with rate lambda (> 0).
   double exponential(double lambda);
 
+  /// Weibull with shape k (> 0) and scale lambda (> 0). shape > 1 models
+  /// wear-out (hazard grows with age) — the standard MTBF model for node
+  /// crashes in the fault injector.
+  double weibull(double shape, double scale);
+
   /// Pareto with scale x_m (> 0) and shape alpha (> 0). Heavy-tailed; used to
   /// model the "widely varying time" of docking tasks (paper Sec. VII-a).
   double pareto(double x_m, double alpha);

@@ -27,6 +27,7 @@ const Configuration& Autotuner::next_configuration() {
     ANTAREX_CHECK(space_.valid(current_), "Autotuner: strategy produced an "
                                           "invalid configuration");
     awaiting_report_ = true;
+    poison_epoch_at_decide_ = telemetry::poison_epoch();
   }
   return current_;
 }
@@ -35,8 +36,12 @@ void Autotuner::report(const std::map<std::string, double>& metrics) {
   TELEMETRY_SPAN("tuner.report");
   ANTAREX_REQUIRE(awaiting_report_,
                   "Autotuner: report() without a preceding next_configuration()");
-  observe_one(current_, metrics);
   awaiting_report_ = false;
+  if (measurement_poisoned()) {
+    discard_one();
+    return;
+  }
+  observe_one(current_, metrics);
 }
 
 std::vector<Configuration> Autotuner::next_batch(std::size_t k) {
@@ -52,6 +57,7 @@ std::vector<Configuration> Autotuner::next_batch(std::size_t k) {
                                    "invalid configuration");
     pending_batch_.push_back(std::move(c));
   }
+  poison_epoch_at_decide_ = telemetry::poison_epoch();
   return pending_batch_;
 }
 
@@ -62,9 +68,25 @@ void Autotuner::report_batch(
                   "Autotuner: report_batch() without a preceding next_batch()");
   ANTAREX_REQUIRE(metrics.size() == pending_batch_.size(),
                   "Autotuner: report_batch() size does not match next_batch()");
-  for (std::size_t i = 0; i < metrics.size(); ++i)
-    observe_one(pending_batch_[i], metrics[i]);
+  if (measurement_poisoned()) {
+    // A glitch anywhere in the batch window taints the whole batch — the
+    // measurements ran concurrently, so there is no telling which were hit.
+    for (std::size_t i = 0; i < metrics.size(); ++i) discard_one();
+  } else {
+    for (std::size_t i = 0; i < metrics.size(); ++i)
+      observe_one(pending_batch_[i], metrics[i]);
+  }
   pending_batch_.clear();
+}
+
+bool Autotuner::measurement_poisoned() const {
+  return config_.discard_poisoned &&
+         telemetry::poison_epoch() != poison_epoch_at_decide_;
+}
+
+void Autotuner::discard_one() {
+  ++samples_discarded_;
+  TELEMETRY_COUNT("tuner.samples_discarded", 1);
 }
 
 void Autotuner::observe_one(const Configuration& config,

@@ -35,6 +35,13 @@ struct AutotunerConfig {
   double phase_threshold = 0.5;
   int phase_confirm = 2;
   std::size_t min_samples_for_phase = 3;
+
+  /// Discard measurements taken while a sensor glitch was live: if
+  /// telemetry::poison_epoch() advanced between decide and report, the
+  /// sample may embed a corrupted energy/power reading, so it is dropped
+  /// instead of folded into the knowledge base (antarex::fault injects such
+  /// glitches; tuner.samples_discarded counts the drops).
+  bool discard_poisoned = true;
 };
 
 class Autotuner {
@@ -79,11 +86,16 @@ class Autotuner {
 
   std::size_t iterations() const { return iterations_; }
   std::size_t phase_changes() const { return phase_changes_; }
+  /// Reports dropped because a sensor glitch poisoned the measurement window.
+  std::size_t samples_discarded() const { return samples_discarded_; }
 
  private:
   /// The shared collect+analyse path behind report() and report_batch().
   void observe_one(const Configuration& config,
                    const std::map<std::string, double>& metrics);
+  /// True if a sensor glitch fired between the decide and this report.
+  bool measurement_poisoned() const;
+  void discard_one();
 
   DesignSpace space_;
   std::unique_ptr<Strategy> strategy_;
@@ -97,6 +109,8 @@ class Autotuner {
   std::size_t iterations_ = 0;
   int phase_suspicion_ = 0;
   std::size_t phase_changes_ = 0;
+  std::size_t samples_discarded_ = 0;
+  u64 poison_epoch_at_decide_ = 0;
 };
 
 }  // namespace antarex::tuner

@@ -268,5 +268,87 @@ TEST(PoolStatsTest, ResetClearsCounters) {
   EXPECT_EQ(s.total_busy_s(), 0.0);
 }
 
+// --------------------------------------------------------------------------
+// Deterministic exception selection + bounded task retry
+// --------------------------------------------------------------------------
+
+TEST(ParallelForErrors, FirstExceptionIsDeterministic) {
+  // Several chunks throw; the caller must always see the one from the lowest
+  // index range, regardless of which worker hit its chunk first. Regression
+  // test for the old fast-skip, which surfaced whichever error won the race.
+  for (int threads : {1, 2, 8}) {
+    ThreadPool pool(threads);
+    for (int round = 0; round < 20; ++round) {
+      std::string caught;
+      try {
+        pool.parallel_for(256, 8, [](std::size_t b, std::size_t e) {
+          for (std::size_t i = b; i < e; ++i)
+            if (i % 50 == 49) throw Error("boom@" + std::to_string(i));
+        });
+        FAIL() << "parallel_for swallowed the exception";
+      } catch (const Error& err) {
+        caught = err.what();
+      }
+      EXPECT_EQ(caught, "boom@49") << "threads=" << threads;
+    }
+  }
+}
+
+TEST(ParallelForErrors, AllChunksRunDespiteFailure) {
+  // Removing the fast-skip means a failing chunk never suppresses the others'
+  // side effects — the loop's work is all-or-nothing per chunk, not per call.
+  ThreadPool pool(4);
+  std::vector<std::atomic<int>> ran(64);
+  try {
+    pool.parallel_for(64, 1, [&](std::size_t b, std::size_t) {
+      ran[b].fetch_add(1, std::memory_order_relaxed);
+      if (b == 0) throw Error("first chunk fails");
+    });
+    FAIL();
+  } catch (const Error&) {
+  }
+  for (std::size_t i = 0; i < ran.size(); ++i)
+    EXPECT_EQ(ran[i].load(), 1) << "chunk " << i;
+}
+
+TEST(AsyncRetry, SucceedsAfterTransientFailures) {
+  ThreadPool pool(2);
+  pool.reset_stats();
+  std::atomic<int> calls{0};
+  auto fut = pool.async_retry(
+      [&] {
+        if (calls.fetch_add(1) < 2) throw Error("transient");
+        return 42;
+      },
+      5);
+  EXPECT_EQ(fut.get(), 42);
+  EXPECT_EQ(calls.load(), 3);
+  EXPECT_EQ(pool.stats().retries, 2u);
+}
+
+TEST(AsyncRetry, ExhaustedBudgetPropagatesLastError) {
+  ThreadPool pool(2);
+  std::atomic<int> calls{0};
+  auto fut = pool.async_retry(
+      [&]() -> int {
+        throw Error("attempt " + std::to_string(calls.fetch_add(1) + 1));
+      },
+      3);
+  try {
+    fut.get();
+    FAIL();
+  } catch (const Error& e) {
+    EXPECT_STREQ(e.what(), "attempt 3");
+  }
+  EXPECT_EQ(calls.load(), 3);
+}
+
+TEST(AsyncRetry, VoidCallableAndSingleAttempt) {
+  ThreadPool pool(1);
+  std::atomic<bool> ran{false};
+  pool.async_retry([&] { ran.store(true); }, 1).get();
+  EXPECT_TRUE(ran.load());
+}
+
 }  // namespace
 }  // namespace antarex::exec

@@ -1,0 +1,12 @@
+// The nightly-tier fault sweep: 1000 random fault schedules through the
+// shared property suite (tests/fault_props.hpp). Registered with the `long`
+// ctest label — the default tier runs `ctest -LE long`, CI's nightly job runs
+// `ctest -L long`.
+#include "fault_props.hpp"
+
+namespace antarex::fault {
+
+INSTANTIATE_TEST_SUITE_P(ThousandSeeds, FaultScheduleProps,
+                         ::testing::Range<u64>(1000, 2000));
+
+}  // namespace antarex::fault

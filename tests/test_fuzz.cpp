@@ -271,3 +271,20 @@ INSTANTIATE_TEST_SUITE_P(Seeds, FuzzSeeds,
 
 }  // namespace
 }  // namespace antarex
+
+// ---------------------------------------------------------------------------
+// Fault-schedule properties (CI-fast slice).
+//
+// The same invariant suite the nightly tier sweeps over 1000 seeds
+// (test_fault_long.cpp) runs here over a small range so every default test
+// run exercises random crash/glitch/throttle schedules end to end: no lost
+// jobs, energy conservation, monotone virtual time.
+// ---------------------------------------------------------------------------
+#include "fault_props.hpp"
+
+namespace antarex::fault {
+
+INSTANTIATE_TEST_SUITE_P(FastSeeds, FaultScheduleProps,
+                         ::testing::Range<u64>(1, 49));
+
+}  // namespace antarex::fault

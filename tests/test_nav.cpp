@@ -453,5 +453,87 @@ TEST_F(ServerTest, RejectsUnsortedRequests) {
                Error);
 }
 
+// --------------------------------------------------------------------------
+// Graceful degradation (antarex::fault)
+// --------------------------------------------------------------------------
+
+TEST_F(ServerTest, FewerHealthyWorkersRaisesWaits) {
+  const auto reqs = load(2.0);
+  const auto policy = [](std::size_t, double) { return ServerKnobs{}; };
+
+  NavServer healthy(graph_, profiles_, 5e-5, 4);
+  NavServer degraded(graph_, profiles_, 5e-5, 4);
+  degraded.set_degradation({1, SIZE_MAX, true, 1e-5});  // 3 of 4 crashed
+
+  double wait_h = 0.0, wait_d = 0.0;
+  for (const auto& s : healthy.serve(reqs, policy)) wait_h += s.queue_wait_s;
+  for (const auto& s : degraded.serve(reqs, policy)) wait_d += s.queue_wait_s;
+  EXPECT_GT(wait_d, wait_h);
+}
+
+TEST_F(ServerTest, ShedsLoadPastBacklogThreshold) {
+  NavServer server(graph_, profiles_, 2e-3, 1);  // overloaded on purpose
+  NavServer::Degradation d;
+  d.shed_backlog = 3;
+  d.serve_stale = false;
+  server.set_degradation(d);
+
+  const auto served = server.serve(
+      load(3.0), [](std::size_t, double) { return ServerKnobs{}; });
+  std::size_t shed = 0;
+  for (const auto& s : served) {
+    if (s.shed) {
+      ++shed;
+      EXPECT_EQ(s.expanded, 0u);
+      EXPECT_DOUBLE_EQ(s.quality, 0.0);
+      EXPECT_DOUBLE_EQ(s.service_s, 0.0);
+    }
+  }
+  EXPECT_GT(shed, 0u);
+  EXPECT_LT(shed, served.size());  // the server never degenerates to all-shed
+}
+
+TEST_F(ServerTest, ServesStaleResultsWhenCached) {
+  NavServer server(graph_, profiles_, 2e-3, 1);
+  NavServer::Degradation d;
+  d.shed_backlog = 1;  // degrade whenever anything is queued
+  server.set_degradation(d);
+
+  // Same od-pair over and over: the first answer warms the cache, later
+  // arrivals under backlog get the stale copy instead of being dropped.
+  std::vector<Request> reqs;
+  for (int i = 0; i < 20; ++i)
+    reqs.push_back({static_cast<double>(i) * 0.01, 3, 777});
+  const auto served = server.serve(
+      reqs, [](std::size_t, double) { return ServerKnobs{}; });
+  std::size_t stale = 0;
+  for (const auto& s : served)
+    if (s.stale) {
+      ++stale;
+      EXPECT_GT(s.quality, 0.0);  // a real (cached) answer, not a drop
+      EXPECT_LT(s.service_s, 1e-4);
+    }
+  EXPECT_GT(stale, 0u);
+}
+
+TEST_F(ServerTest, ConcurrentModeShedsAtWindowPressure) {
+  exec::ThreadPool pool(2);
+  NavServer server(graph_, profiles_, 2e-6, 2);
+  NavServer::Degradation d;
+  // Admission backlog is the in-flight count, capped at max_in_flight - 1
+  // after a collect, so threshold 1 is the reachable "any pressure" setting.
+  d.shed_backlog = 1;
+  d.serve_stale = false;
+  server.set_degradation(d);
+  const auto reqs = load(2.0, 200.0);
+  const auto res = server.serve_concurrent(
+      pool, reqs, [](std::size_t, double) { return ServerKnobs{}; }, 2);
+  std::size_t shed = 0;
+  for (const auto& s : res.served)
+    if (s.shed) ++shed;
+  EXPECT_GT(shed, 0u);
+  EXPECT_EQ(res.served.size(), reqs.size());  // every request got an answer
+}
+
 }  // namespace
 }  // namespace antarex::nav

@@ -5,6 +5,7 @@
 
 #include <cmath>
 
+#include "telemetry/enable.hpp"
 #include "tuner/autotuner.hpp"
 
 namespace antarex::tuner {
@@ -493,6 +494,63 @@ TEST(AutotunerLoop, NoisyMeasurementsStillConverge) {
   const auto best = tuner.best();
   ASSERT_TRUE(best.has_value());
   EXPECT_DOUBLE_EQ(tuner.space().value(*best, "tile"), 32.0);
+}
+
+// --------------------------------------------------------------------------
+// Poisoned-sample discard (antarex::fault sensor glitches)
+// --------------------------------------------------------------------------
+
+TEST(AutotunerPoison, GlitchedSampleIsDiscarded) {
+  Autotuner tuner(two_knob_space(), std::make_unique<FullSearchStrategy>(), {}, 5);
+  FakeApp app;
+
+  const Configuration& c1 = tuner.next_configuration();
+  auto m1 = app.run(tuner.space(), c1);
+  // A sensor glitch fires mid-measurement: the report must not be learned.
+  telemetry::mark_samples_poisoned();
+  tuner.report(m1);
+  EXPECT_EQ(tuner.iterations(), 0u);
+  EXPECT_EQ(tuner.samples_discarded(), 1u);
+  EXPECT_EQ(tuner.knowledge().observations(), 0u);
+
+  // The next clean iteration is learned normally.
+  const Configuration& c2 = tuner.next_configuration();
+  tuner.report(app.run(tuner.space(), c2));
+  EXPECT_EQ(tuner.iterations(), 1u);
+  EXPECT_EQ(tuner.samples_discarded(), 1u);
+}
+
+TEST(AutotunerPoison, DiscardCanBeDisabled) {
+  AutotunerConfig cfg;
+  cfg.discard_poisoned = false;
+  Autotuner tuner(two_knob_space(), std::make_unique<FullSearchStrategy>(),
+                  cfg, 5);
+  FakeApp app;
+  const Configuration& c = tuner.next_configuration();
+  auto m = app.run(tuner.space(), c);
+  telemetry::mark_samples_poisoned();
+  tuner.report(m);
+  EXPECT_EQ(tuner.iterations(), 1u);
+  EXPECT_EQ(tuner.samples_discarded(), 0u);
+}
+
+TEST(AutotunerPoison, GlitchedBatchIsDiscardedWhole) {
+  Autotuner tuner(two_knob_space(), std::make_unique<FullSearchStrategy>(), {}, 5);
+  FakeApp app;
+  const auto batch = tuner.next_batch(4);
+  std::vector<std::map<std::string, double>> metrics;
+  for (const auto& c : batch) metrics.push_back(app.run(tuner.space(), c));
+  telemetry::mark_samples_poisoned();
+  tuner.report_batch(metrics);
+  EXPECT_EQ(tuner.iterations(), 0u);
+  EXPECT_EQ(tuner.samples_discarded(), 4u);
+
+  // The tuner is not wedged: a fresh batch still works.
+  const auto batch2 = tuner.next_batch(2);
+  metrics.clear();
+  for (const auto& c : batch2) metrics.push_back(app.run(tuner.space(), c));
+  tuner.report_batch(metrics);
+  EXPECT_EQ(tuner.iterations(), 2u);
 }
 
 }  // namespace
