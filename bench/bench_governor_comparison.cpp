@@ -8,8 +8,10 @@
 // for memory-bound mixes).
 #include <algorithm>
 #include <iterator>
+#include <map>
 
 #include "bench_common.hpp"
+#include "obs/attribution.hpp"
 #include "rtrm/cluster.hpp"
 
 namespace {
@@ -20,6 +22,7 @@ using namespace antarex::rtrm;
 struct Outcome {
   double makespan = 0.0;
   double energy_kj = 0.0;
+  obs::AttributionTable by_class;  ///< joules per job class (compute/memory)
 };
 
 Outcome run_with(GovernorPolicy governor) {
@@ -46,9 +49,23 @@ Outcome run_with(GovernorPolicy governor) {
     j.profiles[power::DeviceType::Cpu] = w;
     cluster.submit(std::move(j));
   }
+  // Per-class energy ledger: every step, each busy device's draw is
+  // attributed to the class of the job it runs (the govern job-ledger idiom).
+  Outcome out;
+  cluster.add_step_observer([&cluster, &out](double, double, double dt_s) {
+    std::map<u64, const char*> class_of;
+    for (const Job& j : cluster.dispatcher().running_jobs())
+      class_of[j.id] = j.name.c_str();
+    for (const Node& n : cluster.nodes())
+      for (const Device& d : n.devices()) {
+        const auto jid = d.running_job();
+        if (!jid || !class_of.count(*jid)) continue;
+        out.by_class.add(class_of[*jid], d.power_w() * dt_s, dt_s);
+      }
+  });
+
   const bool ok = cluster.run_until_idle(20000.0, 0.25);
   ANTAREX_CHECK(ok, "governor bench: cluster failed to drain");
-  Outcome out;
   double finish = 0.0;
   for (const Job& j : cluster.dispatcher().completed_jobs())
     finish = std::max(finish, j.finish_time_s);
@@ -60,7 +77,7 @@ Outcome run_with(GovernorPolicy governor) {
 }  // namespace
 
 int main(int argc, char** argv) {
-  bench::parse_telemetry(argc, argv);
+  const auto mode = bench::parse_telemetry(argc, argv);
   bench::header("ABL-GOV", "governor comparison on the simulated cluster");
 
   const GovernorPolicy policies[] = {
@@ -82,6 +99,15 @@ int main(int argc, char** argv) {
     }
   }
   t.print();
+
+  // Where the energy-aware run's joules went, split by job class — the
+  // attribution section of the report (printed under --telemetry).
+  for (const auto& row : energy_aware.by_class.rows())
+    bench::attribution(row.key, row.joules, row.seconds);
+  if (mode != bench::TelemetryMode::Off) {
+    std::puts("\n-- energy attribution (energy-aware governor) --");
+    energy_aware.by_class.table("job class").print();
+  }
 
   bench::metric("iterations", static_cast<double>(std::size(policies)));
   bench::metric("simulated_joules", energy_aware.energy_kj * 1e3);

@@ -1,0 +1,126 @@
+#include "govern/actuator.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "exec/pool.hpp"
+#include "nav/server.hpp"
+#include "rtrm/cluster.hpp"
+#include "telemetry/telemetry.hpp"
+
+namespace antarex::govern {
+
+namespace {
+
+void note(const std::string& name, bool restricting, double level) {
+  // Two call sites on purpose: TELEMETRY_COUNT caches the counter per site.
+  if (restricting) {
+    TELEMETRY_COUNT("govern.actuator_restricts", 1);
+  } else {
+    TELEMETRY_COUNT("govern.actuator_relaxes", 1);
+  }
+  telemetry::Registry::global().gauge("govern.level." + name).set(level);
+}
+
+}  // namespace
+
+// ---------------------------------------------------------------- DvfsActuator
+
+DvfsActuator::DvfsActuator(rtrm::Cluster& cluster) : cluster_(cluster) {
+  std::size_t deepest = 1;
+  for (const auto& node : cluster_.nodes())
+    for (const auto& dev : node.devices())
+      deepest = std::max(deepest, dev.num_ops());
+  max_steps_ = deepest - 1;
+  steps_ = std::min(cluster_.op_step_down(), max_steps_);
+}
+
+bool DvfsActuator::restrict() {
+  if (steps_ >= max_steps_) return false;
+  cluster_.set_op_step_down(++steps_);
+  note(name_, true, level());
+  return true;
+}
+
+bool DvfsActuator::relax() {
+  if (steps_ == 0) return false;
+  cluster_.set_op_step_down(--steps_);
+  note(name_, false, level());
+  return true;
+}
+
+// ---------------------------------------------------------------- ExecActuator
+
+ExecActuator::ExecActuator(exec::ThreadPool& pool, int min_workers,
+                           double max_grain_scale)
+    : pool_(pool), min_workers_(std::max(1, min_workers)) {
+  min_workers_ = std::min(min_workers_, pool_.size());
+  worker_steps_ = static_cast<std::size_t>(pool_.size() - min_workers_);
+  // Grain doublings available before exceeding max_grain_scale.
+  grain_steps_ = 0;
+  for (double s = 2.0; s <= max_grain_scale + 1e-9; s *= 2.0) ++grain_steps_;
+  max_steps_ = worker_steps_ + grain_steps_;
+}
+
+void ExecActuator::apply() const {
+  const std::size_t w = std::min(steps_, worker_steps_);
+  const std::size_t g = steps_ > worker_steps_ ? steps_ - worker_steps_ : 0;
+  pool_.set_worker_limit(pool_.size() - static_cast<int>(w));
+  pool_.set_grain_scale(std::pow(2.0, static_cast<double>(g)));
+}
+
+bool ExecActuator::restrict() {
+  if (steps_ >= max_steps_) return false;
+  ++steps_;
+  apply();
+  note(name_, true, level());
+  return true;
+}
+
+bool ExecActuator::relax() {
+  if (steps_ == 0) return false;
+  --steps_;
+  apply();
+  note(name_, false, level());
+  return true;
+}
+
+// ----------------------------------------------------------------- NavActuator
+
+NavActuator::NavActuator(nav::NavServer& server, std::size_t nominal_window,
+                         std::size_t min_window)
+    : server_(server),
+      nominal_(std::max<std::size_t>(1, nominal_window)),
+      min_(std::max<std::size_t>(1, min_window)) {
+  min_ = std::min(min_, nominal_);
+  max_steps_ = 0;
+  for (std::size_t w = nominal_; w > min_; w = std::max(min_, w / 2))
+    ++max_steps_;
+  server_.set_admission_cap(nominal_);
+}
+
+std::size_t NavActuator::window() const {
+  std::size_t w = nominal_;
+  for (std::size_t i = 0; i < steps_; ++i) w = std::max(min_, w / 2);
+  return w;
+}
+
+void NavActuator::apply() const { server_.set_admission_cap(window()); }
+
+bool NavActuator::restrict() {
+  if (steps_ >= max_steps_) return false;
+  ++steps_;
+  apply();
+  note(name_, true, level());
+  return true;
+}
+
+bool NavActuator::relax() {
+  if (steps_ == 0) return false;
+  --steps_;
+  apply();
+  note(name_, false, level());
+  return true;
+}
+
+}  // namespace antarex::govern

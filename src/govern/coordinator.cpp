@@ -1,0 +1,307 @@
+#include "govern/coordinator.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <map>
+#include <sstream>
+
+#include "rtrm/dispatcher.hpp"
+#include "support/json.hpp"
+#include "telemetry/telemetry.hpp"
+
+namespace antarex::govern {
+
+CapCoordinator::CapCoordinator(rtrm::Cluster& cluster, CapCoordinatorConfig cfg)
+    : cluster_(cluster), cfg_(cfg) {
+  ANTAREX_REQUIRE(cfg_.cluster_cap_w > 0.0,
+                  "CapCoordinator: non-positive cluster cap");
+  ANTAREX_REQUIRE(cfg_.epoch_s > 0.0, "CapCoordinator: non-positive epoch");
+  ANTAREX_REQUIRE(cfg_.guard_fraction >= 0.0 && cfg_.guard_fraction < 1.0,
+                  "CapCoordinator: guard_fraction must be in [0, 1)");
+  ANTAREX_REQUIRE(cfg_.fairness_alpha >= 0.0,
+                  "CapCoordinator: negative fairness_alpha");
+  ANTAREX_REQUIRE(cfg_.actuator_patience_epochs >= 1,
+                  "CapCoordinator: patience must be >= 1");
+  ANTAREX_REQUIRE(cfg_.actuator_cooldown_s >= 0.0,
+                  "CapCoordinator: negative cooldown");
+  ANTAREX_REQUIRE(cfg_.relax_margin > 0.0 && cfg_.relax_margin < 1.0,
+                  "CapCoordinator: relax_margin must be in (0, 1)");
+}
+
+void CapCoordinator::add_actuator(std::shared_ptr<Actuator> actuator) {
+  ANTAREX_REQUIRE(actuator != nullptr, "CapCoordinator: null actuator");
+  actuators_.push_back(std::move(actuator));
+}
+
+double CapCoordinator::node_floor_w(const rtrm::Node& node) const {
+  // The node's draw with every device idle at its lowest P-state: the budget
+  // below which a controller cannot help (same floor the built-in
+  // ClusterPowerManager guarantees).
+  double f = node.base_power_w();
+  for (const auto& d : node.devices())
+    f += d.power_model().idle_power_w(d.spec().dvfs.lowest(),
+                                      d.temperature_c());
+  return f;
+}
+
+void CapCoordinator::attach() {
+  ANTAREX_REQUIRE(!attached_, "CapCoordinator: already attached");
+  const std::size_t n = cluster_.nodes().size();
+  ANTAREX_REQUIRE(n > 0, "CapCoordinator: cluster has no nodes");
+  while (node_ctl_.size() < n) node_ctl_.emplace_back(1.0);
+  node_epoch_j_.assign(n, 0.0);
+  budgets_w_.assign(n, 0.0);
+  epoch_j_ = 0.0;
+  epoch_t_ = 0.0;
+  over_streak_ = under_streak_ = 0;
+  attach_s_ = cluster_.now_s();
+  last_alive_ = n - cluster_.nodes_down();
+  attached_ = true;
+  renegotiate();  // initial budgets from floors (no demand observed yet)
+
+  cluster_.set_control_hook(
+      [this](std::vector<rtrm::Node>& nodes, double now_s) {
+        if (attached_) on_control(nodes, now_s);
+      });
+  // Cluster observers are not removable, so install exactly one across the
+  // coordinator's lifetime — a re-attach after detach() must not end up with
+  // two live observers double-counting every step.
+  if (!observer_installed_) {
+    observer_installed_ = true;
+    cluster_.add_step_observer([this](double now_s, double p_w, double dt_s) {
+      if (attached_) on_step(now_s, p_w, dt_s);
+    });
+  }
+}
+
+void CapCoordinator::detach() {
+  if (!attached_) return;
+  if (epoch_t_ > 0.0) close_epoch(cluster_.now_s());  // partial final epoch
+  attached_ = false;
+  cluster_.set_control_hook(nullptr);
+}
+
+void CapCoordinator::on_control(std::vector<rtrm::Node>& nodes, double now_s) {
+  (void)now_s;
+  maybe_redistribute();
+  // Victim ordering by job priority: devices running high-priority jobs are
+  // clamped last. The running set is committed serially on this thread.
+  std::map<std::string, double> prio_by_device;
+  if (cfg_.use_priority) {
+    for (const auto& job : cluster_.dispatcher().running_jobs())
+      if (job.priority > 0.0) prio_by_device[job.device_name] = job.priority;
+  }
+
+  for (std::size_t i = 0; i < nodes.size() && i < node_ctl_.size(); ++i) {
+    rtrm::Node& node = nodes[i];
+    if (node.failed() || budgets_w_[i] <= 0.0) continue;
+
+    if (cfg_.use_priority) {
+      std::vector<double> w(node.device_count(), 1.0);
+      for (std::size_t d = 0; d < node.device_count(); ++d) {
+        const auto hit = prio_by_device.find(node.device(d).name());
+        if (hit != prio_by_device.end()) w[d] = hit->second;
+      }
+      node_ctl_[i].set_device_weights(std::move(w));
+    }
+
+    node_ctl_[i].set_budget_w(std::max(budgets_w_[i], 1.0));
+    // One regular step (may raise under headroom), then keep lowering while
+    // the node still sits over its budget — unlike the one-notch-per-period
+    // manager, the cap coordinator must hold the line *before* the next
+    // plant step draws power. The loop is bounded by the total notch count.
+    node_ctl_[i].step(node);
+    std::size_t notches = 0;
+    for (const auto& d : node.devices()) notches += d.num_ops();
+    while (notches-- > 0 && node.power_w() > budgets_w_[i] &&
+           node_ctl_[i].step(node)) {
+    }
+  }
+}
+
+// React to crashes/repairs immediately, not at the epoch boundary: a dead
+// node's share must flow to survivors before the next control step, and a
+// repaired node needs a (floor) budget before it is allowed to draw. Called
+// from on_control (ahead of the clamp, so no unbudgeted power is ever drawn)
+// and from on_step (covering faults applied mid-plant-step).
+void CapCoordinator::maybe_redistribute() {
+  const std::size_t alive = cluster_.nodes().size() - cluster_.nodes_down();
+  if (alive == last_alive_) return;
+  ++stats_.redistributions;
+  TELEMETRY_COUNT("govern.redistributions", 1);
+  last_alive_ = alive;
+  renegotiate();
+}
+
+void CapCoordinator::on_step(double now_s, double it_power_w, double dt_s) {
+  maybe_redistribute();
+
+  stats_.consumed_j += it_power_w * dt_s;
+  epoch_j_ += it_power_w * dt_s;
+  epoch_t_ += dt_s;
+
+  const auto& nodes = cluster_.nodes();
+  if (node_epoch_j_.size() < nodes.size())
+    node_epoch_j_.resize(nodes.size(), 0.0);
+  for (std::size_t i = 0; i < nodes.size(); ++i)
+    node_epoch_j_[i] += nodes[i].power_w() * dt_s;
+
+  // Per-job ledger: each busy device's draw goes to the job it is running.
+  // (Node base power stays unattributed — it is not any job's doing.)
+  const auto& running = cluster_.dispatcher().running_jobs();
+  if (!running.empty()) {
+    std::map<u64, const rtrm::Job*> by_id;
+    for (const auto& job : running) by_id[job.id] = &job;
+    for (const auto& node : nodes) {
+      if (node.failed()) continue;
+      for (const auto& dev : node.devices()) {
+        const auto jid = dev.running_job();
+        if (!jid) continue;
+        const auto hit = by_id.find(*jid);
+        if (hit == by_id.end()) continue;
+        job_energy_.add(hit->second->name, dev.power_w() * dt_s, dt_s);
+      }
+    }
+  }
+
+  if (epoch_t_ + 1e-9 >= cfg_.epoch_s) close_epoch(now_s);
+}
+
+void CapCoordinator::close_epoch(double now_s) {
+  const double mean_w = epoch_t_ > 0.0 ? epoch_j_ / epoch_t_ : 0.0;
+  last_epoch_mean_w_ = mean_w;
+  ++stats_.epochs;
+
+  if (mean_w > cfg_.cluster_cap_w + 1e-9) {
+    ++stats_.violations;
+    stats_.worst_overshoot_w =
+        std::max(stats_.worst_overshoot_w, mean_w - cfg_.cluster_cap_w);
+    TELEMETRY_COUNT("govern.cap_violations", 1);
+  }
+  TELEMETRY_GAUGE("govern.epoch_mean_w", mean_w);
+  TELEMETRY_GAUGE("govern.cap_headroom_w", cfg_.cluster_cap_w - mean_w);
+
+  renegotiate();
+
+  // Escalation ladder: budgets failing to keep the mean under the effective
+  // cap for `patience` consecutive epochs means the plant needs a coarser
+  // knob. Ample headroom walks back in reverse order.
+  const double eff_cap = cfg_.cluster_cap_w * (1.0 - cfg_.guard_fraction);
+  if (mean_w > eff_cap) {
+    ++over_streak_;
+    under_streak_ = 0;
+  } else if (mean_w < cfg_.cluster_cap_w * (1.0 - cfg_.relax_margin)) {
+    ++under_streak_;
+    over_streak_ = 0;
+  } else {
+    over_streak_ = under_streak_ = 0;
+  }
+  const bool cooled = now_s - last_actuation_s_ >= cfg_.actuator_cooldown_s;
+  if (over_streak_ >= cfg_.actuator_patience_epochs && cooled) {
+    for (auto& a : actuators_)
+      if (a->restrict()) {
+        ++stats_.restricts;
+        last_actuation_s_ = now_s;
+        over_streak_ = 0;
+        break;
+      }
+  } else if (under_streak_ >= cfg_.actuator_patience_epochs && cooled) {
+    for (auto it = actuators_.rbegin(); it != actuators_.rend(); ++it)
+      if ((*it)->relax()) {
+        ++stats_.relaxes;
+        last_actuation_s_ = now_s;
+        under_streak_ = 0;
+        break;
+      }
+  }
+
+  epoch_j_ = 0.0;
+  epoch_t_ = 0.0;
+  std::fill(node_epoch_j_.begin(), node_epoch_j_.end(), 0.0);
+}
+
+void CapCoordinator::renegotiate() {
+  const auto& nodes = cluster_.nodes();
+  budgets_w_.assign(nodes.size(), 0.0);
+  const double eff_cap = cfg_.cluster_cap_w * (1.0 - cfg_.guard_fraction);
+
+  // Node priority weight: the heaviest-priority job currently on the node.
+  std::vector<double> prio(nodes.size(), 1.0);
+  if (cfg_.use_priority) {
+    for (const auto& job : cluster_.dispatcher().running_jobs()) {
+      if (job.priority <= 0.0) continue;
+      for (std::size_t i = 0; i < nodes.size(); ++i)
+        for (const auto& dev : nodes[i].devices())
+          if (dev.name() == job.device_name)
+            prio[i] = std::max(prio[i], job.priority);
+    }
+  }
+
+  std::vector<double> floor_w(nodes.size(), 0.0);
+  std::vector<double> weight(nodes.size(), 0.0);
+  double floor_total = 0.0;
+  double weight_total = 0.0;
+  for (std::size_t i = 0; i < nodes.size(); ++i) {
+    if (nodes[i].failed()) continue;  // dead: zero budget, share to survivors
+    floor_w[i] = node_floor_w(nodes[i]);
+    const double mean =
+        epoch_t_ > 0.0 ? node_epoch_j_[i] / epoch_t_ : floor_w[i];
+    const double demand = std::max(mean, floor_w[i]);
+    weight[i] = std::pow(demand, cfg_.fairness_alpha) * prio[i];
+    floor_total += floor_w[i];
+    weight_total += weight[i];
+  }
+  if (floor_total <= 0.0) return;  // every node down: nothing draws power
+
+  if (eff_cap <= floor_total) {
+    // Infeasible even at idle: scale the floors. Budgets still sum to the
+    // effective cap (conservation), controllers pin everything to P-state 0.
+    for (std::size_t i = 0; i < nodes.size(); ++i)
+      budgets_w_[i] = eff_cap * floor_w[i] / floor_total;
+  } else {
+    const double distributable = eff_cap - floor_total;
+    for (std::size_t i = 0; i < nodes.size(); ++i) {
+      if (nodes[i].failed()) continue;
+      const double share = weight_total > 0.0
+                               ? weight[i] / weight_total
+                               : 1.0 / static_cast<double>(last_alive_);
+      budgets_w_[i] = floor_w[i] + distributable * share;
+    }
+  }
+}
+
+std::string CapCoordinator::json() const {
+  std::ostringstream os;
+  os << "{\"schema\":\"antarex.govern.capreport/v1\"";
+  os << ",\"cap_w\":" << cfg_.cluster_cap_w;
+  os << ",\"epoch_s\":" << cfg_.epoch_s;
+  os << ",\"guard_fraction\":" << cfg_.guard_fraction;
+  os << ",\"epochs\":" << stats_.epochs;
+  os << ",\"violations\":" << stats_.violations;
+  os << ",\"worst_overshoot_w\":" << stats_.worst_overshoot_w;
+  os << ",\"budget_j\":" << cfg_.cluster_cap_w * (cluster_.now_s() - attach_s_);
+  os << ",\"consumed_j\":" << stats_.consumed_j;
+  os << ",\"restricts\":" << stats_.restricts;
+  os << ",\"relaxes\":" << stats_.relaxes;
+  os << ",\"redistributions\":" << stats_.redistributions;
+  os << ",\"node_budgets_w\":[";
+  for (std::size_t i = 0; i < budgets_w_.size(); ++i)
+    os << (i ? "," : "") << budgets_w_[i];
+  os << "],\"actuators\":[";
+  for (std::size_t i = 0; i < actuators_.size(); ++i) {
+    const auto& a = *actuators_[i];
+    os << (i ? "," : "") << "{\"name\":" << json_quote(a.name())
+       << ",\"steps\":" << a.steps() << ",\"max_steps\":" << a.max_steps()
+       << ",\"level\":" << a.level() << "}";
+  }
+  os << "],\"job_energy\":[";
+  const auto rows = job_energy_.rows();
+  for (std::size_t i = 0; i < rows.size(); ++i)
+    os << (i ? "," : "") << "{\"job\":" << json_quote(rows[i].key)
+       << ",\"joules\":" << rows[i].joules
+       << ",\"seconds\":" << rows[i].seconds << "}";
+  os << "]}";
+  return os.str();
+}
+
+}  // namespace antarex::govern

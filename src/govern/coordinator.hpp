@@ -1,0 +1,134 @@
+// The hierarchical power-cap coordinator: the govern layer's closed loop.
+//
+// CapCoordinator takes one cluster-level power budget (the facility cap the
+// site negotiated, paper Sec. V) and makes it hold from the top down:
+//
+//   cluster cap ──epoch──▶ per-node budgets ──control──▶ per-device ceilings
+//
+//  - Every simulation step it integrates cluster and per-node energy and
+//    keeps a per-job ledger (device power attributed to the job running on
+//    it, weighted by wall time — the obs::AttributionTable idiom).
+//  - Every epoch (cfg.epoch_s of simulated time, RAPL-window semantics) it
+//    closes the books: a *violation* is an epoch whose mean IT power exceeds
+//    the cap. It then renegotiates node budgets from the epoch's measured
+//    demand — proportional share with a configurable fairness exponent and
+//    job-priority weighting — always conserving: alive budgets sum to
+//    cap * (1 - guard_fraction), the guard band absorbing intra-epoch
+//    transients. Dead nodes get zero; their share flows to survivors. A
+//    change in the alive set (antarex::fault crashing or repairing a node)
+//    triggers an immediate renegotiation on the very step it is observed —
+//    crash mid-epoch = automatic redistribution, cap still holds.
+//  - Every control period (the Cluster's own cadence) its per-node
+//    controllers clamp device ceilings to the current budgets, *after* the
+//    governor proposals — the coordinator has the last word before any power
+//    is drawn. With control_period_s == dt_s this yields zero violations by
+//    construction.
+//  - When budgets alone leave the cluster over the effective cap for
+//    `actuator_patience_epochs` in a row, it walks an escalation ladder of
+//    Actuators (DVFS step-down, exec throttle, nav admission) one notch per
+//    cooldown; ample headroom walks the ladder back in reverse.
+//
+// Determinism: every callback runs on the simulation thread from serially
+// committed state; the job ledger is an ordered map. The whole loop is
+// byte-identical across 1/2/8 pool workers.
+#pragma once
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "govern/actuator.hpp"
+#include "obs/attribution.hpp"
+#include "rtrm/cluster.hpp"
+#include "support/common.hpp"
+
+namespace antarex::govern {
+
+struct CapCoordinatorConfig {
+  double cluster_cap_w = 0.0;  ///< required > 0: the budget to enforce
+  double epoch_s = 1.0;        ///< accounting/renegotiation window
+  /// Slice of the cap withheld from node budgets; transients (temperature
+  /// drift, placement between control steps) eat the guard, not the cap.
+  double guard_fraction = 0.08;
+  /// Exponent on measured demand in the proportional split: 1 = classic
+  /// demand-proportional, 0 = equal shares, >1 favours heavy nodes.
+  double fairness_alpha = 1.0;
+  /// Weight node shares and device victim order by running jobs' priority.
+  bool use_priority = true;
+  int actuator_patience_epochs = 2;   ///< over-cap epochs before escalating
+  double actuator_cooldown_s = 4.0;   ///< min seconds between ladder moves
+  /// Relax when the epoch mean sits below cap * (1 - relax_margin).
+  double relax_margin = 0.25;
+};
+
+struct CapStats {
+  u64 epochs = 0;
+  u64 violations = 0;           ///< epochs with mean power > cap
+  double worst_overshoot_w = 0.0;
+  double budget_j = 0.0;        ///< cap * attached simulated seconds
+  double consumed_j = 0.0;      ///< integrated IT energy while attached
+  u64 restricts = 0;            ///< actuator ladder escalations
+  u64 relaxes = 0;
+  u64 redistributions = 0;      ///< epochs whose alive set changed
+};
+
+class CapCoordinator {
+ public:
+  CapCoordinator(rtrm::Cluster& cluster, CapCoordinatorConfig cfg);
+
+  /// Escalation ladder, walked in add order on restrict and reverse on relax.
+  void add_actuator(std::shared_ptr<Actuator> actuator);
+  const std::vector<std::shared_ptr<Actuator>>& actuators() const {
+    return actuators_;
+  }
+
+  /// Install the control hook and a step observer on the cluster. The
+  /// coordinator must outlive the cluster's run after attach().
+  void attach();
+  /// Stop acting and observing (the step observer stays registered but goes
+  /// inert; Cluster observers are not individually removable).
+  void detach();
+  bool attached() const { return attached_; }
+
+  const CapStats& stats() const { return stats_; }
+  const CapCoordinatorConfig& config() const { return cfg_; }
+  /// Current per-node budgets (W); 0 for nodes considered dead.
+  const std::vector<double>& node_budgets_w() const { return budgets_w_; }
+  /// Per-job energy ledger (key = job name), conserved to device energy.
+  const obs::AttributionTable& job_energy() const { return job_energy_; }
+  /// Mean IT power of the last closed epoch (0 before the first).
+  double last_epoch_mean_w() const { return last_epoch_mean_w_; }
+
+  /// JSON report, schema "antarex.govern.capreport/v1".
+  std::string json() const;
+
+ private:
+  void on_step(double now_s, double it_power_w, double dt_s);
+  void on_control(std::vector<rtrm::Node>& nodes, double now_s);
+  void close_epoch(double now_s);
+  void maybe_redistribute();   ///< renegotiate when the alive set changed
+  void renegotiate();          ///< node budgets from the last epoch's demand
+  double node_floor_w(const rtrm::Node& node) const;
+
+  rtrm::Cluster& cluster_;
+  CapCoordinatorConfig cfg_;
+  std::vector<std::shared_ptr<Actuator>> actuators_;
+  std::vector<rtrm::NodePowerController> node_ctl_;
+  std::vector<double> budgets_w_;
+  obs::AttributionTable job_energy_;
+  CapStats stats_;
+
+  bool attached_ = false;
+  bool observer_installed_ = false;  ///< one observer per lifetime
+  double attach_s_ = 0.0;      ///< sim time of the last attach()
+  double epoch_j_ = 0.0;       ///< cluster energy this epoch
+  double epoch_t_ = 0.0;       ///< elapsed time this epoch
+  std::vector<double> node_epoch_j_;
+  double last_epoch_mean_w_ = 0.0;
+  std::size_t last_alive_ = 0;
+  int over_streak_ = 0;
+  int under_streak_ = 0;
+  double last_actuation_s_ = -1e300;
+};
+
+}  // namespace antarex::govern

@@ -1,0 +1,88 @@
+#include "govern/policies.hpp"
+
+#include <utility>
+
+namespace antarex::govern {
+
+namespace {
+
+bool gauge_above(const obs::PolicyContext& ctx, const char* name,
+                 double threshold) {
+  const telemetry::Gauge& g = ctx.registry->gauge(name);
+  return g.updates() > 0 && g.last() > threshold;
+}
+
+bool gauge_below(const obs::PolicyContext& ctx, const char* name,
+                 double threshold) {
+  const telemetry::Gauge& g = ctx.registry->gauge(name);
+  return g.updates() > 0 && g.last() < threshold;
+}
+
+}  // namespace
+
+InstalledPolicies install_actuating_policies(
+    obs::PolicyEngine& engine, std::vector<std::shared_ptr<Actuator>> ladder,
+    std::shared_ptr<Actuator> thermal, std::shared_ptr<Actuator> nav,
+    ActuatingPolicyConfig cfg) {
+  InstalledPolicies out;
+  const obs::PolicyOptions opts{cfg.cooldown_s};
+
+  if (cfg.power_cap_w > 0.0 && !ladder.empty()) {
+    auto shared = std::make_shared<std::vector<std::shared_ptr<Actuator>>>(
+        std::move(ladder));
+    out.power_restrict = engine.add_actuating(
+        "govern.power_restrict",
+        [cap = cfg.power_cap_w](const obs::PolicyContext& ctx) {
+          return gauge_above(ctx, "rtrm.power_draw_w", cap);
+        },
+        [shared](const obs::PolicyContext&) {
+          for (auto& a : *shared)
+            if (a->restrict()) return obs::PolicyAction::Restrict;
+          return obs::PolicyAction::None;  // ladder exhausted
+        },
+        opts);
+    out.power_relax = engine.add_actuating(
+        "govern.power_relax",
+        [relax_at = cfg.power_cap_w * cfg.relax_fraction](
+            const obs::PolicyContext& ctx) {
+          return gauge_below(ctx, "rtrm.power_draw_w", relax_at);
+        },
+        [shared](const obs::PolicyContext&) {
+          for (auto it = shared->rbegin(); it != shared->rend(); ++it)
+            if ((*it)->relax()) return obs::PolicyAction::Relax;
+          return obs::PolicyAction::None;  // already nominal
+        },
+        opts);
+  }
+
+  if (thermal) {
+    out.thermal = engine.add_actuating(
+        "govern.thermal_restrict",
+        [margin = cfg.thermal_headroom_c](const obs::PolicyContext& ctx) {
+          return gauge_below(ctx, "rtrm.thermal_headroom_c", margin);
+        },
+        [thermal](const obs::PolicyContext&) {
+          return thermal->restrict() ? obs::PolicyAction::Restrict
+                                     : obs::PolicyAction::None;
+        },
+        opts);
+  }
+
+  if (nav) {
+    out.nav = engine.add_actuating(
+        "govern.nav_shed",
+        [limit = cfg.nav_queue_limit](const obs::PolicyContext& ctx) {
+          const telemetry::Gauge& g = ctx.registry->gauge("nav.queue_depth");
+          return g.updates() > 0 && g.last() >= limit;
+        },
+        [nav](const obs::PolicyContext&) {
+          return nav->restrict() ? obs::PolicyAction::Restrict
+                                 : obs::PolicyAction::None;
+        },
+        opts);
+  }
+
+  return out;
+}
+
+}  // namespace antarex::govern

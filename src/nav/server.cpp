@@ -168,6 +168,10 @@ ConcurrentServeResult NavServer::serve_concurrent(
   ANTAREX_REQUIRE(policy != nullptr, "NavServer: null policy");
   ANTAREX_REQUIRE(max_in_flight >= 1,
                   "NavServer: serve_concurrent needs max_in_flight >= 1");
+  // The govern admission actuator shrinks the window below what the caller
+  // asked for. Read once at entry: one serve call = one window size, so the
+  // backlog sequence (and every knob decision) stays deterministic.
+  max_in_flight = std::min(max_in_flight, std::max<std::size_t>(1, admission_cap_));
   for (std::size_t i = 1; i < requests.size(); ++i)
     ANTAREX_REQUIRE(requests[i].arrival_s >= requests[i - 1].arrival_s,
                     "NavServer: requests must be sorted by arrival");

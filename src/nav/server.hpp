@@ -74,6 +74,15 @@ class NavServer {
   void set_degradation(Degradation d);
   const Degradation& degradation() const { return degradation_; }
 
+  /// Power-governance admission throttle (govern::NavActuator): an upper
+  /// bound on serve_concurrent's in-flight window regardless of what the
+  /// caller passes. Read once per serve call (deterministic backlog
+  /// sequence); SIZE_MAX (default) means uncapped. Clamped to >= 1.
+  void set_admission_cap(std::size_t cap) {
+    admission_cap_ = std::max<std::size_t>(1, cap);
+  }
+  std::size_t admission_cap() const { return admission_cap_; }
+
   /// Knob policy consulted per request. Inputs: current queue length at the
   /// request's arrival and the time of day — enough for both static policies
   /// (ignore inputs) and adaptive ones.
@@ -121,6 +130,7 @@ class NavServer {
   double unit_cost_s_;
   int workers_;
   Degradation degradation_;
+  std::size_t admission_cap_ = SIZE_MAX;
   std::map<std::pair<u32, u32>, double> quality_cache_;  ///< od-pair → quality
 };
 

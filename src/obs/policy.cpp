@@ -7,15 +7,53 @@
 
 namespace antarex::obs {
 
+const char* policy_action_name(PolicyAction a) {
+  switch (a) {
+    case PolicyAction::None: return "none";
+    case PolicyAction::Restrict: return "restrict";
+    case PolicyAction::Relax: return "relax";
+  }
+  return "?";
+}
+
+int PolicyEngine::add_policy(Policy p) {
+  ANTAREX_REQUIRE(p.when != nullptr, "PolicyEngine: null predicate");
+  ANTAREX_REQUIRE(p.then != nullptr || p.act != nullptr,
+                  "PolicyEngine: null callback");
+  ANTAREX_REQUIRE(p.opts.cooldown_s >= 0.0,
+                  "PolicyEngine: negative cooldown");
+  std::lock_guard<std::mutex> lock(mu_);
+  p.id = next_id_++;
+  const int id = p.id;
+  policies_.push_back(std::move(p));
+  return id;
+}
+
 int PolicyEngine::add(std::string name, Predicate when, Callback then,
                       Callback on_clear) {
-  ANTAREX_REQUIRE(when != nullptr, "PolicyEngine: null predicate");
-  ANTAREX_REQUIRE(then != nullptr, "PolicyEngine: null callback");
-  std::lock_guard<std::mutex> lock(mu_);
-  const int id = next_id_++;
-  policies_.push_back(Policy{id, std::move(name), std::move(when),
-                             std::move(then), std::move(on_clear), false, 0});
-  return id;
+  return add(std::move(name), std::move(when), std::move(then),
+             std::move(on_clear), PolicyOptions{});
+}
+
+int PolicyEngine::add(std::string name, Predicate when, Callback then,
+                      Callback on_clear, PolicyOptions opts) {
+  Policy p;
+  p.name = std::move(name);
+  p.when = std::move(when);
+  p.then = std::move(then);
+  p.on_clear = std::move(on_clear);
+  p.opts = opts;
+  return add_policy(std::move(p));
+}
+
+int PolicyEngine::add_actuating(std::string name, Predicate when,
+                                Actuation act, PolicyOptions opts) {
+  Policy p;
+  p.name = std::move(name);
+  p.when = std::move(when);
+  p.act = std::move(act);
+  p.opts = opts;
+  return add_policy(std::move(p));
 }
 
 void PolicyEngine::remove(int handle) {
@@ -27,17 +65,46 @@ void PolicyEngine::remove(int handle) {
                   policies_.end());
 }
 
+void PolicyEngine::fire(Policy& p, const PolicyContext& ctx) {
+  p.fired_once = true;
+  p.last_fire_s = ctx.now_s;
+  ++p.fires;
+  TELEMETRY_COUNT("obs.policy_fires", 1);
+  if (p.act) {
+    switch (p.act(ctx)) {
+      case PolicyAction::None:
+        break;
+      case PolicyAction::Restrict:
+        ++p.restricts;
+        TELEMETRY_COUNT("obs.policy_actions.restrict", 1);
+        break;
+      case PolicyAction::Relax:
+        ++p.relaxes;
+        TELEMETRY_COUNT("obs.policy_actions.relax", 1);
+        break;
+    }
+  } else {
+    p.then(ctx);
+  }
+}
+
 void PolicyEngine::evaluate(const PolicyContext& ctx) {
   std::lock_guard<std::mutex> lock(mu_);
   ++evaluations_;
   for (Policy& p : policies_) {
     const bool cond = p.when(ctx);
+    // With a cooldown, any fire (first crossing or re-fire while held) must
+    // sit at least cooldown_s after the previous one; without one, only the
+    // false->true edge fires.
+    const bool cooled =
+        !p.fired_once || ctx.now_s - p.last_fire_s >= p.opts.cooldown_s;
     if (cond && !p.latched) {
-      // false -> true edge: fire exactly once per crossing.
       p.latched = true;
-      ++p.fires;
-      TELEMETRY_COUNT("obs.policy_fires", 1);
-      p.then(ctx);
+      if (p.opts.cooldown_s == 0.0 || cooled) fire(p, ctx);
+    } else if (cond && p.latched) {
+      // Condition held across evaluations: re-fire once per cooldown
+      // interval (covers a crossing that had to wait out the window too).
+      if (p.opts.cooldown_s > 0.0 && cooled) fire(p, ctx);
     } else if (!cond && p.latched) {
       p.latched = false;
       if (p.on_clear) p.on_clear(ctx);
@@ -75,6 +142,27 @@ u64 PolicyEngine::fires(const std::string& name) const {
   for (const Policy& p : policies_)
     if (p.name == name) total += p.fires;
   return total;
+}
+
+u64 PolicyEngine::actions(int handle) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  for (const Policy& p : policies_)
+    if (p.id == handle) return p.restricts + p.relaxes;
+  return 0;
+}
+
+u64 PolicyEngine::restricts(int handle) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  for (const Policy& p : policies_)
+    if (p.id == handle) return p.restricts;
+  return 0;
+}
+
+u64 PolicyEngine::relaxes(int handle) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  for (const Policy& p : policies_)
+    if (p.id == handle) return p.relaxes;
+  return 0;
 }
 
 u64 PolicyEngine::evaluations() const {

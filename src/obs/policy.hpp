@@ -10,6 +10,20 @@
 // optional on_clear callback runs on the true->false transition (e.g. to
 // drop a backpressure gauge).
 //
+// Cooldown (PolicyOptions::cooldown_s): a pure edge-triggered policy whose
+// predicate *stays* true never re-fires — fine for alerts, wrong for
+// actuation, where a persistent violation must keep producing corrective
+// steps without firing every tick. With cooldown_s > 0 the policy re-fires
+// while the condition holds, at most once per cooldown interval, and a fresh
+// crossing inside the cooldown window also waits it out — the hysteresis
+// that stops an oscillating signal from double-actuating.
+//
+// Actuating policies (add_actuating, the govern layer's entry point) return
+// a PolicyAction instead of being fire-and-forget: the engine counts the
+// Restrict/Relax decisions per policy and in the obs.policy_actions.*
+// counters, so reports show what the control loop *did*, not just what it
+// observed.
+//
 // Evaluation is synchronous on the calling thread (the control loop's tick,
 // or the thread exiting a span). Callbacks must not register/remove policies
 // on the same engine (the engine lock is held) and should be cheap — raise a
@@ -36,16 +50,45 @@ struct PolicyContext {
   double span_duration_s = 0.0;   ///< valid when span != nullptr
 };
 
+/// What an actuating policy decided. The engine only counts these; applying
+/// them (DVFS step, worker throttle, admission shrink) is the actuator's job
+/// in antarex::govern.
+enum class PolicyAction {
+  None,      ///< observed, decided not to act
+  Restrict,  ///< pull the knob toward lower power / less parallelism
+  Relax,     ///< give headroom back toward nominal
+};
+
+const char* policy_action_name(PolicyAction a);
+
+/// Per-policy trigger shaping.
+struct PolicyOptions {
+  /// 0 (default): pure edge trigger — one fire per false->true crossing.
+  /// > 0: while the predicate stays true, re-fire every cooldown_s; a
+  /// crossing that lands inside the cooldown window of the previous fire
+  /// waits for the window to expire (anti-oscillation hysteresis).
+  double cooldown_s = 0.0;
+};
+
 class PolicyEngine {
  public:
   using Predicate = std::function<bool(const PolicyContext&)>;
   using Callback = std::function<void(const PolicyContext&)>;
+  using Actuation = std::function<PolicyAction(const PolicyContext&)>;
 
   /// Register a policy; returns its handle. `when` is evaluated on every
   /// tick() and span exit; `then` runs on the false->true edge; `on_clear`
   /// (optional) on the subsequent true->false edge.
   int add(std::string name, Predicate when, Callback then,
           Callback on_clear = nullptr);
+  /// Same, with explicit trigger shaping (cooldown/re-fire).
+  int add(std::string name, Predicate when, Callback then, Callback on_clear,
+          PolicyOptions opts);
+  /// Register an actuating policy: fires under the same edge/cooldown rules,
+  /// but the callback returns the action it took, which the engine tallies
+  /// (actions(), restricts(), relaxes(), obs.policy_actions.* counters).
+  int add_actuating(std::string name, Predicate when, Actuation act,
+                    PolicyOptions opts = {});
   void remove(int handle);
 
   /// Periodic evaluation (call from the control loop / sampling driver).
@@ -56,6 +99,10 @@ class PolicyEngine {
 
   u64 fires(int handle) const;
   u64 fires(const std::string& name) const;  ///< 0 if unknown
+  /// Actuating-policy tallies (all zero for plain policies).
+  u64 actions(int handle) const;    ///< non-None actions taken
+  u64 restricts(int handle) const;
+  u64 relaxes(int handle) const;
   u64 evaluations() const;
   std::size_t size() const;
   std::vector<std::string> names() const;
@@ -67,9 +114,17 @@ class PolicyEngine {
     Predicate when;
     Callback then;
     Callback on_clear;
+    Actuation act;         ///< set for actuating policies (then is null)
+    PolicyOptions opts;
     bool latched = false;  ///< predicate was true at last evaluation
+    bool fired_once = false;
+    double last_fire_s = 0.0;
     u64 fires = 0;
+    u64 restricts = 0;
+    u64 relaxes = 0;
   };
+  int add_policy(Policy p);
+  void fire(Policy& p, const PolicyContext& ctx);
   void evaluate(const PolicyContext& ctx);
 
   mutable std::mutex mu_;

@@ -57,6 +57,18 @@ void Cluster::control_step() {
     }
   }
   if (power_manager_) power_manager_->step(nodes_);
+  if (op_step_down_ > 0) {
+    for (auto& node : nodes_) {
+      if (node.failed()) continue;
+      for (auto& d : node.devices()) {
+        const std::size_t ceiling =
+            d.num_ops() > op_step_down_ ? d.num_ops() - 1 - op_step_down_ : 0;
+        if (d.op_index() > ceiling) d.set_op_index(ceiling);
+      }
+    }
+  }
+  // Last word: the govern layer's cap clamp overrides every proposal above.
+  if (control_hook_) control_hook_(nodes_, clock_.now());
 }
 
 void Cluster::run_for(double duration_s, double dt_s) {
@@ -99,6 +111,15 @@ void Cluster::run_for(double duration_s, double dt_s) {
     clock_.advance(step);
 
     TELEMETRY_GAUGE("rtrm.it_power_w", it_power);
+    // The signal the govern power-cap policies watch (same value, stable
+    // name independent of the internal it_power naming).
+    TELEMETRY_GAUGE("rtrm.power_draw_w", it_power);
+    if (trace_node_power_ && telemetry::enabled()) {
+      for (std::size_t i = 0; i < nodes_.size(); ++i)
+        telemetry::Registry::global()
+            .series("rtrm.node_power_w." + nodes_[i].name())
+            .push(node_power[i]);
+    }
     telemetry_.time_s = clock_.now();
     telemetry_.it_energy_j += it_power * step;
     telemetry_.facility_energy_j +=

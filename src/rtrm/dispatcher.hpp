@@ -44,6 +44,9 @@ class Dispatcher {
   void submit(Job job);
   std::size_t queued() const { return queue_.size(); }
   std::size_t running() const { return running_.size(); }
+  /// Jobs currently placed on devices (read-only view for the govern layer's
+  /// per-job energy ledger and priority weighting).
+  const std::vector<Job>& running_jobs() const { return running_; }
   std::size_t completed() const { return done_.size(); }
   const std::vector<Job>& completed_jobs() const { return done_; }
   std::size_t failed() const { return failed_.size(); }

@@ -21,6 +21,10 @@ struct Job {
   u64 id = 0;
   std::string name;
   double units = 1.0;
+  /// Fairness/priority weight for power-budget negotiation (govern): a job
+  /// with priority 2 claims twice the share of a contended budget, and its
+  /// device is the last to be clamped. Must be > 0.
+  double priority = 1.0;
   std::map<power::DeviceType, power::WorkloadModel> profiles;
 
   double submit_time_s = 0.0;

@@ -288,3 +288,21 @@ INSTANTIATE_TEST_SUITE_P(FastSeeds, FaultScheduleProps,
                          ::testing::Range<u64>(1, 49));
 
 }  // namespace antarex::fault
+
+// ---------------------------------------------------------------------------
+// Power-governance property sweep (fast slice).
+//
+// The governance invariant suite the nightly tier sweeps over 1000 seeds
+// (test_govern_long.cpp) runs here over a small range so every default test
+// run exercises random caps, fairness settings, and crash schedules end to
+// end: zero cap violations, budget conservation, no joules lost, no lost
+// jobs.
+// ---------------------------------------------------------------------------
+#include "govern_props.hpp"
+
+namespace antarex::govern {
+
+INSTANTIATE_TEST_SUITE_P(FastSeeds, CapGovernanceProps,
+                         ::testing::Range<u64>(1, 49));
+
+}  // namespace antarex::govern

@@ -1,0 +1,331 @@
+// antarex::govern: actuator ladders, the hierarchical cap coordinator's
+// budget split and priority weighting, actuating policies, fault
+// composition, and determinism of the whole loop across pool sizes.
+#include "govern/govern.hpp"
+
+#include <gtest/gtest.h>
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "exec/pool.hpp"
+#include "fault/fault.hpp"
+#include "nav/nav.hpp"
+#include "nav/server.hpp"
+#include "support/rng.hpp"
+#include "telemetry/telemetry.hpp"
+
+namespace {
+
+using namespace antarex;
+using namespace antarex::govern;
+
+class GovernTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    telemetry::set_enabled(true);
+    telemetry::Registry::global().reset();
+  }
+  void TearDown() override { telemetry::set_enabled(false); }
+};
+
+rtrm::Cluster make_cluster(std::size_t n_nodes,
+                           rtrm::ClusterConfig cfg = {}) {
+  cfg.control_period_s = 0.25;
+  rtrm::Cluster cluster(cfg);
+  for (std::size_t i = 0; i < n_nodes; ++i) {
+    rtrm::Node node("n" + std::to_string(i), 40.0);
+    node.add_device(rtrm::Device("n" + std::to_string(i) + "-cpu",
+                                 power::DeviceSpec::xeon_haswell()));
+    cluster.add_node(std::move(node));
+  }
+  return cluster;
+}
+
+void submit_jobs(rtrm::Cluster& cluster, int count, double priority = 1.0,
+                 u64 first_id = 1) {
+  for (int j = 0; j < count; ++j) {
+    rtrm::Job job;
+    job.id = first_id + static_cast<u64>(j);
+    job.name = "job" + std::to_string(job.id);
+    job.units = 4.0;
+    job.priority = priority;
+    power::WorkloadModel w;
+    w.cpu_gcycles = 30.0;
+    w.mem_seconds = 0.3;
+    w.cores_used = 12;
+    w.activity = 0.9;
+    job.profiles[power::DeviceType::Cpu] = w;
+    cluster.submit(std::move(job));
+  }
+}
+
+// --- actuators --------------------------------------------------------------
+
+TEST_F(GovernTest, DvfsActuatorWalksTheFullLadderAndBack) {
+  rtrm::Cluster cluster = make_cluster(1);
+  DvfsActuator dvfs(cluster);
+  // xeon_haswell has 13 P-states: 12 notches below nominal.
+  EXPECT_EQ(dvfs.max_steps(), 12u);
+  EXPECT_DOUBLE_EQ(dvfs.level(), 1.0);
+
+  std::size_t restricts = 0;
+  while (dvfs.restrict()) ++restricts;
+  EXPECT_EQ(restricts, 12u);
+  EXPECT_EQ(cluster.op_step_down(), 12u);
+  EXPECT_DOUBLE_EQ(dvfs.level(), 0.0);
+  EXPECT_FALSE(dvfs.restrict()) << "bottom of the ladder must refuse";
+
+  dvfs.reset();
+  EXPECT_EQ(cluster.op_step_down(), 0u);
+  EXPECT_DOUBLE_EQ(dvfs.level(), 1.0);
+  EXPECT_FALSE(dvfs.relax()) << "nominal must refuse to relax";
+  EXPECT_EQ(telemetry::Registry::global()
+                .counter("govern.actuator_restricts")
+                .value(),
+            12u);
+}
+
+TEST_F(GovernTest, ExecActuatorParksWorkersThenCoarsensGrain) {
+  exec::ThreadPool pool(4);
+  ExecActuator throttle(pool, /*min_workers=*/2, /*max_grain_scale=*/8.0);
+  // 2 worker notches (4 -> 3 -> 2) + 3 grain doublings (2x, 4x, 8x).
+  EXPECT_EQ(throttle.max_steps(), 5u);
+
+  EXPECT_TRUE(throttle.restrict());
+  EXPECT_EQ(pool.worker_limit(), 3);
+  EXPECT_TRUE(throttle.restrict());
+  EXPECT_EQ(pool.worker_limit(), 2);
+  EXPECT_DOUBLE_EQ(pool.grain_scale(), 1.0);
+
+  EXPECT_TRUE(throttle.restrict());
+  EXPECT_DOUBLE_EQ(pool.grain_scale(), 2.0);
+  EXPECT_TRUE(throttle.restrict());
+  EXPECT_TRUE(throttle.restrict());
+  EXPECT_DOUBLE_EQ(pool.grain_scale(), 8.0);
+  EXPECT_EQ(pool.worker_limit(), 2);
+  EXPECT_FALSE(throttle.restrict());
+
+  // Relax walks back in reverse: grain first, then workers.
+  EXPECT_TRUE(throttle.relax());
+  EXPECT_DOUBLE_EQ(pool.grain_scale(), 4.0);
+  throttle.reset();
+  EXPECT_EQ(pool.worker_limit(), 4);
+  EXPECT_DOUBLE_EQ(pool.grain_scale(), 1.0);
+}
+
+TEST_F(GovernTest, NavActuatorHalvesTheAdmissionWindow) {
+  Rng rng(11);
+  const nav::RoadGraph graph = nav::RoadGraph::grid_city(rng, 4, 4);
+  nav::SpeedProfiles profiles;
+  nav::NavServer server(graph, profiles);
+
+  NavActuator shed(server, /*nominal_window=*/16, /*min_window=*/2);
+  EXPECT_EQ(server.admission_cap(), 16u);
+  EXPECT_EQ(shed.max_steps(), 3u);  // 16 -> 8 -> 4 -> 2
+
+  EXPECT_TRUE(shed.restrict());
+  EXPECT_EQ(server.admission_cap(), 8u);
+  EXPECT_TRUE(shed.restrict());
+  EXPECT_TRUE(shed.restrict());
+  EXPECT_EQ(server.admission_cap(), 2u);
+  EXPECT_EQ(shed.window(), 2u);
+  EXPECT_FALSE(shed.restrict()) << "window floor reached";
+
+  shed.reset();
+  EXPECT_EQ(server.admission_cap(), 16u);
+}
+
+// --- actuating policies -----------------------------------------------------
+
+TEST_F(GovernTest, ActuatingPoliciesDriveTheLadderFromGauges) {
+  rtrm::Cluster cluster = make_cluster(1);
+  obs::PolicyEngine engine;
+  ActuatingPolicyConfig cfg;
+  cfg.power_cap_w = 100.0;
+  cfg.cooldown_s = 1.0;
+  auto dvfs = std::make_shared<DvfsActuator>(cluster);
+  const InstalledPolicies handles = install_actuating_policies(
+      engine, {dvfs}, /*thermal=*/nullptr, /*nav=*/nullptr, cfg);
+  ASSERT_GE(handles.power_restrict, 0);
+  ASSERT_GE(handles.power_relax, 0);
+  EXPECT_EQ(handles.thermal, -1);
+  EXPECT_EQ(handles.nav, -1);
+
+  // Draw above the cap: one notch per cooldown interval while it persists.
+  TELEMETRY_GAUGE("rtrm.power_draw_w", 140.0);
+  engine.tick(0.0);
+  engine.tick(1.0);
+  engine.tick(1.5);  // inside the cooldown: no extra notch
+  EXPECT_EQ(cluster.op_step_down(), 2u);
+  EXPECT_EQ(engine.restricts(handles.power_restrict), 2u);
+
+  // Draw well under the relax point: the ladder walks back.
+  TELEMETRY_GAUGE("rtrm.power_draw_w", 30.0);
+  engine.tick(3.0);
+  EXPECT_EQ(cluster.op_step_down(), 1u);
+  EXPECT_EQ(engine.relaxes(handles.power_relax), 1u);
+}
+
+// --- cap coordinator --------------------------------------------------------
+
+TEST_F(GovernTest, BudgetsConserveTheEffectiveCap) {
+  rtrm::Cluster cluster = make_cluster(3);
+  submit_jobs(cluster, 6);
+  CapCoordinatorConfig cfg;
+  cfg.cluster_cap_w = 360.0;
+  cfg.guard_fraction = 0.05;
+  CapCoordinator coordinator(cluster, cfg);
+  coordinator.attach();
+  cluster.run_for(10.0, 0.25);
+
+  double sum = 0.0;
+  for (double b : coordinator.node_budgets_w()) {
+    EXPECT_GT(b, 0.0);
+    sum += b;
+  }
+  EXPECT_NEAR(sum, 360.0 * 0.95, 1e-6);
+  EXPECT_EQ(coordinator.stats().epochs, 10u);
+  EXPECT_EQ(coordinator.stats().violations, 0u);
+  EXPECT_GT(coordinator.last_epoch_mean_w(), 0.0);
+  coordinator.detach();
+}
+
+TEST_F(GovernTest, PriorityJobsEarnTheirNodeALargerBudget) {
+  rtrm::Cluster cluster = make_cluster(2);
+  // Node 0 runs the priority-4 job, node 1 the priority-1 job; with identical
+  // workloads the weighted split must favour node 0.
+  submit_jobs(cluster, 1, /*priority=*/4.0, /*first_id=*/1);
+  submit_jobs(cluster, 1, /*priority=*/1.0, /*first_id=*/2);
+  CapCoordinatorConfig cfg;
+  cfg.cluster_cap_w = 220.0;  // tight enough that the split matters
+  cfg.use_priority = true;
+  CapCoordinator coordinator(cluster, cfg);
+  coordinator.attach();
+  cluster.run_for(5.0, 0.25);
+
+  const std::vector<double>& budgets = coordinator.node_budgets_w();
+  ASSERT_EQ(budgets.size(), 2u);
+  EXPECT_GT(budgets[0], budgets[1])
+      << "priority weighting must favour the node running the heavier job";
+  EXPECT_EQ(coordinator.stats().violations, 0u);
+  coordinator.detach();
+}
+
+TEST_F(GovernTest, CrashRedistributesTheDeadNodesShare) {
+  rtrm::Cluster cluster = make_cluster(3);
+  submit_jobs(cluster, 9);
+  CapCoordinatorConfig cfg;
+  cfg.cluster_cap_w = 330.0;
+  CapCoordinator coordinator(cluster, cfg);
+  coordinator.attach();
+  cluster.run_for(3.0, 0.25);
+
+  const double before_n1 = coordinator.node_budgets_w()[1];
+  cluster.fail_node(0);
+  cluster.run_for(1.0, 0.25);
+
+  const std::vector<double>& budgets = coordinator.node_budgets_w();
+  EXPECT_DOUBLE_EQ(budgets[0], 0.0) << "dead node must hold no budget";
+  EXPECT_GT(budgets[1], before_n1) << "survivors inherit the freed share";
+  EXPECT_GE(coordinator.stats().redistributions, 1u);
+  double sum = 0.0;
+  for (double b : budgets) sum += b;
+  EXPECT_NEAR(sum, 330.0 * (1.0 - cfg.guard_fraction), 1e-6);
+
+  cluster.repair_node(0);
+  cluster.run_for(1.0, 0.25);
+  EXPECT_GT(coordinator.node_budgets_w()[0], 0.0)
+      << "repaired node re-enters the split";
+  EXPECT_EQ(coordinator.stats().violations, 0u);
+  coordinator.detach();
+}
+
+TEST_F(GovernTest, DetachStopsActuationAndReattachDoesNotDoubleCount) {
+  rtrm::Cluster cluster = make_cluster(2);
+  submit_jobs(cluster, 4);
+  CapCoordinatorConfig cfg;
+  cfg.cluster_cap_w = 200.0;
+  CapCoordinator coordinator(cluster, cfg);
+  coordinator.attach();
+  cluster.run_for(4.0, 0.25);
+  coordinator.detach();
+  const double consumed_attached = coordinator.stats().consumed_j;
+  EXPECT_GT(consumed_attached, 0.0);
+
+  // Detached: the loop neither accounts nor clamps.
+  cluster.run_for(2.0, 0.25);
+  EXPECT_DOUBLE_EQ(coordinator.stats().consumed_j, consumed_attached);
+
+  // Re-attach: exactly one live observer, so attached-time integration must
+  // match the cluster's own ledger over the attached windows.
+  const double before_j = cluster.telemetry().it_energy_j;
+  coordinator.attach();
+  cluster.run_for(2.0, 0.25);
+  coordinator.detach();
+  const double window_j = cluster.telemetry().it_energy_j - before_j;
+  EXPECT_NEAR(coordinator.stats().consumed_j - consumed_attached, window_j,
+              1e-6);
+}
+
+TEST_F(GovernTest, JobLedgerIsOrderedAndBounded) {
+  rtrm::Cluster cluster = make_cluster(2);
+  submit_jobs(cluster, 4);
+  CapCoordinatorConfig cfg;
+  cfg.cluster_cap_w = 240.0;
+  CapCoordinator coordinator(cluster, cfg);
+  coordinator.attach();
+  cluster.run_until_idle(500.0, 0.25);
+  coordinator.detach();
+
+  const double ledger = coordinator.job_energy().total_joules();
+  EXPECT_GT(ledger, 0.0);
+  EXPECT_LE(ledger, cluster.telemetry().it_energy_j * (1.0 + 1e-9))
+      << "base power is unattributed, so the ledger is a strict subset";
+  const std::string dump = coordinator.json();
+  EXPECT_NE(dump.find("antarex.govern.capreport/v1"), std::string::npos);
+  EXPECT_NE(dump.find("\"violations\":0"), std::string::npos);
+}
+
+// --- determinism ------------------------------------------------------------
+
+// The full loop (cap + faults) must be byte-identical across pool sizes: all
+// coordinator callbacks run on the simulation thread from serially committed
+// state.
+std::string governed_fingerprint(int threads) {
+  telemetry::Registry::global().reset();
+  rtrm::ClusterConfig ccfg;
+  ccfg.backfill = true;
+  rtrm::Cluster cluster = make_cluster(4, ccfg);
+  submit_jobs(cluster, 12);
+  exec::ThreadPool pool(threads);
+  cluster.set_pool(&pool);
+
+  CapCoordinatorConfig cfg;
+  cfg.cluster_cap_w = 420.0;
+  CapCoordinator coordinator(cluster, cfg);
+  coordinator.add_actuator(std::make_shared<DvfsActuator>(cluster));
+  coordinator.attach();
+
+  fault::FaultModel model;
+  model.crash_mtbf_s = 60.0;
+  model.repair_mean_s = 6.0;
+  fault::FaultInjector injector(cluster,
+                                fault::generate_schedule(model, 4, 1, 30.0, 5));
+  cluster.run_for(30.0, 0.25);
+  cluster.run_until_idle(2000.0, 0.25);
+  coordinator.detach();
+  return coordinator.json();
+}
+
+TEST_F(GovernTest, GovernedRunIsDeterministicAcrossPoolSizes) {
+  const std::string one = governed_fingerprint(1);
+  const std::string two = governed_fingerprint(2);
+  const std::string eight = governed_fingerprint(8);
+  EXPECT_EQ(one, two);
+  EXPECT_EQ(one, eight);
+  EXPECT_NE(one.find("\"violations\":0"), std::string::npos);
+}
+
+}  // namespace

@@ -1,0 +1,12 @@
+// The nightly-tier governance sweep: 1000 random cap/fault scenarios through
+// the shared property suite (tests/govern_props.hpp). Registered with the
+// `long` ctest label — the default tier runs `ctest -LE long`, CI's nightly
+// job runs `ctest -L long`.
+#include "govern_props.hpp"
+
+namespace antarex::govern {
+
+INSTANTIATE_TEST_SUITE_P(ThousandSeeds, CapGovernanceProps,
+                         ::testing::Range<u64>(1000, 2000));
+
+}  // namespace antarex::govern

@@ -221,6 +221,104 @@ TEST_F(ObsTest, PolicyFiresExactlyOncePerCrossing) {
   EXPECT_EQ(engine.evaluations(), 6u);
 }
 
+// With cooldown_s > 0 a held condition keeps producing fires — but never
+// more than one per cooldown interval. This is the actuation contract the
+// govern escalation ladder depends on (a persistent cap violation must keep
+// stepping DVFS down, one notch per cooldown, not once ever and not per tick).
+TEST_F(ObsTest, CooldownRefiresWhileConditionHolds) {
+  PolicyEngine engine;
+  PolicyOptions opts;
+  opts.cooldown_s = 2.0;
+  const int h = engine.add(
+      "test.cooldown",
+      [](const PolicyContext& ctx) {
+        return ctx.registry->gauge("test.signal").last() > 10.0;
+      },
+      [](const PolicyContext&) {}, nullptr, opts);
+
+  TELEMETRY_GAUGE("test.signal", 15.0);
+  engine.tick(0.0);  // first crossing fires immediately
+  EXPECT_EQ(engine.fires(h), 1u);
+  engine.tick(1.0);  // held, but inside the cooldown window
+  EXPECT_EQ(engine.fires(h), 1u);
+  engine.tick(2.0);  // window expired: re-fire
+  EXPECT_EQ(engine.fires(h), 2u);
+  engine.tick(3.5);  // 1.5 s after the last fire: still cooling
+  EXPECT_EQ(engine.fires(h), 2u);
+  engine.tick(4.0);
+  EXPECT_EQ(engine.fires(h), 3u);
+}
+
+// A fresh false->true crossing that lands inside the cooldown window of the
+// previous fire must wait the window out — the hysteresis that stops an
+// oscillating signal from double-actuating.
+TEST_F(ObsTest, CrossingInsideCooldownWaitsItOut) {
+  PolicyEngine engine;
+  int clears = 0;
+  PolicyOptions opts;
+  opts.cooldown_s = 2.0;
+  const int h = engine.add(
+      "test.hysteresis",
+      [](const PolicyContext& ctx) {
+        return ctx.registry->gauge("test.signal").last() > 10.0;
+      },
+      [](const PolicyContext&) {},
+      [&clears](const PolicyContext&) { ++clears; }, opts);
+
+  TELEMETRY_GAUGE("test.signal", 15.0);
+  engine.tick(0.0);
+  EXPECT_EQ(engine.fires(h), 1u);
+
+  TELEMETRY_GAUGE("test.signal", 5.0);
+  engine.tick(0.5);  // clears and re-arms
+  EXPECT_EQ(clears, 1);
+
+  TELEMETRY_GAUGE("test.signal", 15.0);
+  engine.tick(1.0);  // re-crossed 1 s after the fire: inside the window
+  EXPECT_EQ(engine.fires(h), 1u) << "crossing must wait out the cooldown";
+  engine.tick(2.0);  // window expired while held: now it fires
+  EXPECT_EQ(engine.fires(h), 2u);
+}
+
+// Actuating policies return what they decided; the engine tallies the
+// Restrict/Relax split per handle and in the obs.policy_actions.* counters.
+TEST_F(ObsTest, ActuatingPolicyTalliesRestrictAndRelax) {
+  PolicyEngine engine;
+  PolicyOptions opts;
+  opts.cooldown_s = 1.0;
+  const int h = engine.add_actuating(
+      "test.actuate",
+      [](const PolicyContext& ctx) {
+        const telemetry::Gauge& g = ctx.registry->gauge("test.signal");
+        return g.updates() > 0 && (g.last() > 10.0 || g.last() < 5.0);
+      },
+      [](const PolicyContext& ctx) {
+        const double v = ctx.registry->gauge("test.signal").last();
+        if (v > 10.0) return PolicyAction::Restrict;
+        if (v < 5.0) return PolicyAction::Relax;
+        return PolicyAction::None;
+      },
+      opts);
+
+  TELEMETRY_GAUGE("test.signal", 20.0);
+  engine.tick(0.0);  // restrict
+  engine.tick(1.0);  // held past cooldown: restrict again
+  TELEMETRY_GAUGE("test.signal", 2.0);
+  engine.tick(2.0);  // still true (low side), cooled: relax
+  engine.tick(2.5);  // cooling
+  EXPECT_EQ(engine.fires(h), 3u);
+  EXPECT_EQ(engine.restricts(h), 2u);
+  EXPECT_EQ(engine.relaxes(h), 1u);
+  EXPECT_EQ(engine.actions(h), 3u);
+  EXPECT_EQ(telemetry::Registry::global()
+                .counter("obs.policy_actions.restrict")
+                .value(),
+            2u);
+  EXPECT_EQ(
+      telemetry::Registry::global().counter("obs.policy_actions.relax").value(),
+      1u);
+}
+
 TEST_F(ObsTest, SpanExitsEvaluatePoliciesWhenEngineAttached) {
   PolicyEngine engine;
   std::atomic<int> seen{0};
