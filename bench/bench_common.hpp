@@ -11,8 +11,11 @@
 // at process exit — so the perf trajectory is machine-trackable across PRs
 // without scraping stdout.
 //
-// Uniform flags, parsed by parse_threads() / parse_telemetry():
+// Uniform flags, parsed by parse_threads() / parse_strategy() /
+// parse_telemetry():
 //   --threads N              worker threads (benches that parallelize)
+//   --strategy NAME          search strategy (autotuning benches):
+//                            flat | epsilon-greedy | model-guided | evolutionary
 //   --telemetry=off|on|trace off (default): no telemetry overhead;
 //                            on: record metrics, print the registry summary;
 //                            trace: additionally write BENCH_<name>_trace.json
@@ -199,6 +202,23 @@ inline int parse_threads(int argc, char** argv, int hardware_default) {
   return threads;
 }
 
+/// Parse `--strategy <name>` (also accepted as `--strategy=<name>`) from a
+/// bench's argv. Pure string parsing — the bench resolves the name via
+/// search::make_strategy, which throws on unknown names, so a typo is a hard
+/// error at the resolution site rather than a silent fallback here.
+inline std::string parse_strategy(int argc, char** argv,
+                                  const std::string& fallback) {
+  std::string name = fallback;
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    if (arg.rfind("--strategy=", 0) == 0)
+      name = arg.substr(std::strlen("--strategy="));
+    else if (arg == "--strategy" && i + 1 < argc)
+      name = argv[i + 1];
+  }
+  return name;
+}
+
 /// Parse the uniform `--telemetry=<off|on|trace>` flag (also accepted as
 /// `--telemetry <mode>`) and `--help`. Enables the telemetry runtime for
 /// `on` and `trace`; `trace` additionally writes BENCH_<name>_trace.json at
@@ -214,6 +234,9 @@ inline TelemetryMode parse_telemetry(int argc, char** argv) {
       std::printf(
           "uniform bench flags:\n"
           "  --threads N              worker threads (parallel benches)\n"
+          "  --strategy NAME          search strategy (autotuning benches):\n"
+          "                           flat | epsilon-greedy | model-guided |\n"
+          "                           evolutionary\n"
           "  --telemetry=off|on|trace off (default): no telemetry;\n"
           "                           on: metrics + registry summary;\n"
           "                           trace: also write "

@@ -19,6 +19,7 @@
 #include "passes/iterative.hpp"
 #include "passes/pass_manager.hpp"
 #include "rtrm/cluster.hpp"
+#include "search/search.hpp"
 #include "tuner/autotuner.hpp"
 #include "vm/engine.hpp"
 
@@ -133,11 +134,14 @@ int main(int argc, char** argv) {
              format("%.1f ms", ms_since(t0))});
 
   // 6. Autotuning control loop: converge a knob against VM instructions.
+  // --strategy selects the search backend; "flat" is the committed baseline.
   t0 = std::chrono::steady_clock::now();
   tuner::DesignSpace space;
   space.add_knob({"size", {16, 32, 64, 96, 128}});
-  tuner::Autotuner autotuner(std::move(space),
-                             std::make_unique<tuner::FullSearchStrategy>());
+  tuner::Autotuner autotuner(
+      std::move(space),
+      antarex::search::make_strategy(
+          antarex::bench::parse_strategy(argc, argv, "flat")));
   for (int i = 0; i < 8; ++i) {
     const auto& cfg = autotuner.next_configuration();
     engine.reset_instruction_count();

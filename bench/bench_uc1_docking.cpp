@@ -10,7 +10,11 @@
 //     real wall time, imbalance, and steal counts next to the simulator's
 //     predictions.
 //
-// Usage: bench_uc1_docking [--threads N]   (default: hardware concurrency)
+// Usage: bench_uc1_docking [--threads N] [--strategy NAME]
+//   --threads   worker threads (default: hardware concurrency)
+//   --strategy  batch-size autotuning strategy (default: flat — the
+//               committed baseline; try "evolutionary" for the model-seeded
+//               search)
 #include <algorithm>
 #include <memory>
 
@@ -18,6 +22,7 @@
 #include "dock/dock.hpp"
 #include "dock/parallel.hpp"
 #include "power/model.hpp"
+#include "search/search.hpp"
 #include "tuner/autotuner.hpp"
 
 int main(int argc, char** argv) {
@@ -48,10 +53,11 @@ int main(int argc, char** argv) {
   const double overhead = 0.4;
 
   // Autotune the batch size for the dynamic queue.
+  const std::string strategy = bench::parse_strategy(argc, argv, "flat");
+  std::printf("autotuning batch size with strategy: %s\n", strategy.c_str());
   tuner::DesignSpace space;
   space.add_knob({"batch", {1, 2, 4, 8, 16, 32, 64, 128}});
-  tuner::Autotuner tuner(std::move(space),
-                         std::make_unique<tuner::FullSearchStrategy>());
+  tuner::Autotuner tuner(std::move(space), search::make_strategy(strategy));
   for (int i = 0; i < 12; ++i) {
     const auto& cfg = tuner.next_configuration();
     const ScheduleResult r = schedule_dynamic(

@@ -1,0 +1,178 @@
+#include "search/model.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "exec/parallel.hpp"
+#include "tuner/strategy.hpp"
+
+namespace antarex::search {
+
+namespace {
+
+/// Per-knob min/max over the full value list (annotation-independent).
+void knob_range(const tuner::Knob& k, double& lo, double& hi) {
+  lo = *std::min_element(k.values.begin(), k.values.end());
+  hi = *std::max_element(k.values.begin(), k.values.end());
+}
+
+/// Solve (A + ridge*I) w = b in place by Gaussian elimination with partial
+/// pivoting. Returns false on a (numerically) singular system.
+bool solve_ridge(std::vector<std::vector<double>> a, std::vector<double> b,
+                 double ridge, std::vector<double>& out) {
+  const std::size_t n = a.size();
+  for (std::size_t i = 0; i < n; ++i) a[i][i] += ridge;
+  for (std::size_t col = 0; col < n; ++col) {
+    std::size_t pivot = col;
+    for (std::size_t r = col + 1; r < n; ++r)
+      if (std::fabs(a[r][col]) > std::fabs(a[pivot][col])) pivot = r;
+    if (std::fabs(a[pivot][col]) < 1e-12) return false;
+    std::swap(a[col], a[pivot]);
+    std::swap(b[col], b[pivot]);
+    for (std::size_t r = col + 1; r < n; ++r) {
+      const double f = a[r][col] / a[col][col];
+      for (std::size_t c = col; c < n; ++c) a[r][c] -= f * a[col][c];
+      b[r] -= f * b[col];
+    }
+  }
+  out.assign(n, 0.0);
+  for (std::size_t i = n; i-- > 0;) {
+    double s = b[i];
+    for (std::size_t c = i + 1; c < n; ++c) s -= a[i][c] * out[c];
+    out[i] = s / a[i][i];
+  }
+  return true;
+}
+
+}  // namespace
+
+std::vector<double> PerfModel::features(const tuner::DesignSpace& space,
+                                        const tuner::Configuration& c) const {
+  const std::size_t n = space.knob_count();
+  std::vector<double> x(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    double lo, hi;
+    knob_range(space.knob(i), lo, hi);
+    const double v = space.value(c, i);
+    x[i] = hi > lo ? (v - lo) / (hi - lo) : 0.0;
+  }
+  std::vector<double> f;
+  f.reserve(1 + n + n * (n + 1) / 2);
+  f.push_back(1.0);
+  for (double v : x) f.push_back(v);
+  // Interaction terms, i <= j: the diagonal (x_i^2) captures per-knob
+  // curvature — bowls, not just planes — and the off-diagonal captures
+  // pairwise knob coupling.
+  for (std::size_t i = 0; i < n; ++i)
+    for (std::size_t j = i; j < n; ++j) f.push_back(x[i] * x[j]);
+  return f;
+}
+
+FitReport PerfModel::fit(const tuner::DesignSpace& space,
+                         const tuner::Knowledge& kb,
+                         const std::string& metric) {
+  const std::size_t n = space.knob_count();
+  ANTAREX_REQUIRE(n > 0, "PerfModel: empty design space");
+  const std::size_t dims = 1 + n + n * (n + 1) / 2;
+
+  std::vector<std::vector<double>> xs;
+  std::vector<double> ys;
+  for (const tuner::Configuration& c : kb.configs()) {
+    if (!space.valid(c)) continue;
+    const auto y = kb.mean(c, metric);
+    if (!y) continue;
+    xs.push_back(features(space, c));
+    ys.push_back(*y);
+  }
+
+  report_ = {};
+  report_.samples = xs.size();
+  report_.dims = dims;
+  if (xs.size() < dims) return report_;
+
+  // Normal equations: XtX w = Xty, ridge-damped for conditioning.
+  std::vector<std::vector<double>> xtx(dims, std::vector<double>(dims, 0.0));
+  std::vector<double> xty(dims, 0.0);
+  for (std::size_t s = 0; s < xs.size(); ++s) {
+    for (std::size_t i = 0; i < dims; ++i) {
+      xty[i] += xs[s][i] * ys[s];
+      for (std::size_t j = i; j < dims; ++j) xtx[i][j] += xs[s][i] * xs[s][j];
+    }
+  }
+  for (std::size_t i = 0; i < dims; ++i)
+    for (std::size_t j = 0; j < i; ++j) xtx[i][j] = xtx[j][i];
+
+  if (!solve_ridge(std::move(xtx), std::move(xty), 1e-8, weights_))
+    return report_;
+
+  double ss_res = 0.0, ss_tot = 0.0, mean_y = 0.0;
+  for (double y : ys) mean_y += y;
+  mean_y /= static_cast<double>(ys.size());
+  for (std::size_t s = 0; s < xs.size(); ++s) {
+    double pred = 0.0;
+    for (std::size_t i = 0; i < dims; ++i) pred += weights_[i] * xs[s][i];
+    ss_res += (ys[s] - pred) * (ys[s] - pred);
+    ss_tot += (ys[s] - mean_y) * (ys[s] - mean_y);
+  }
+  report_.rmse = std::sqrt(ss_res / static_cast<double>(xs.size()));
+  report_.r2 = ss_tot > 1e-300 ? 1.0 - ss_res / ss_tot : 1.0;
+  report_.ok = true;
+  return report_;
+}
+
+double PerfModel::predict(const tuner::DesignSpace& space,
+                          const tuner::Configuration& c) const {
+  ANTAREX_REQUIRE(fitted(), "PerfModel: predict before a successful fit");
+  const std::vector<double> f = features(space, c);
+  ANTAREX_REQUIRE(f.size() == weights_.size(),
+                  "PerfModel: design space does not match the fitted model");
+  double y = 0.0;
+  for (std::size_t i = 0; i < f.size(); ++i) y += weights_[i] * f[i];
+  return y;
+}
+
+std::vector<tuner::Configuration> PerfModel::top_k(
+    const tuner::DesignSpace& space, std::size_t k, bool minimize, u64 seed,
+    std::size_t scan_cap) const {
+  ANTAREX_REQUIRE(fitted(), "PerfModel: top_k before a successful fit");
+  ANTAREX_REQUIRE(k >= 1, "PerfModel: top_k needs k >= 1");
+
+  struct Scored {
+    tuner::Configuration config;
+    std::string key;
+    double pred;
+  };
+  const std::size_t n = space.size();
+  const bool enumerate = n <= scan_cap;
+  const std::size_t scan = enumerate ? n : scan_cap;
+  std::vector<Scored> scored;
+  scored.reserve(scan);
+  for (std::size_t s = 0; s < scan; ++s) {
+    tuner::Configuration c;
+    if (enumerate) {
+      c = space.at(s);
+    } else {
+      Rng rng(exec::stream_seed(seed, s));
+      c = tuner::random_config(space, rng);
+    }
+    const double pred = predict(space, c);
+    std::string key = tuner::config_key(c);
+    scored.push_back({std::move(c), std::move(key), pred});
+  }
+  std::sort(scored.begin(), scored.end(), [&](const Scored& a, const Scored& b) {
+    if (a.pred != b.pred) return minimize ? a.pred < b.pred : a.pred > b.pred;
+    return a.key < b.key;
+  });
+  // Sampled candidates can repeat; dedupe while collecting the k best.
+  std::vector<tuner::Configuration> out;
+  std::vector<std::string> keys;
+  for (const Scored& s : scored) {
+    if (out.size() >= k) break;
+    if (std::find(keys.begin(), keys.end(), s.key) != keys.end()) continue;
+    keys.push_back(s.key);
+    out.push_back(s.config);
+  }
+  return out;
+}
+
+}  // namespace antarex::search

@@ -1,0 +1,72 @@
+// Cheap analytic performance model fit from tuner::Knowledge measurements.
+//
+// Stage one of the two-stage design-space exploration flow (the Odyssey/
+// AutoSA shape): a per-metric least-squares model — linear plus interaction
+// terms (quadratic self-terms and pairwise products) over normalized knob
+// encodings — fit from whatever the knowledge base has already measured,
+// used to rank unseen configurations and seed the evolutionary engine's
+// starting population with the top-K predicted points. The model is
+// deliberately small (closed-form ridge solve, O(dims^3) with
+// dims = 1 + n + n(n+1)/2 for n knobs) so fitting is free next to even one
+// real measurement.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "tuner/knob.hpp"
+#include "tuner/knowledge.hpp"
+
+namespace antarex::search {
+
+/// Fit-quality report: how much the model should be trusted. `ok` is false
+/// when the system is underdetermined (fewer samples than coefficients) —
+/// callers should then prefer random seeding over model ranking.
+struct FitReport {
+  std::size_t samples = 0;  ///< distinct configurations used for the fit
+  std::size_t dims = 0;     ///< coefficients (bias + linear + interactions)
+  double rmse = 0.0;        ///< in-sample root-mean-square error
+  double r2 = 0.0;          ///< in-sample coefficient of determination
+  bool ok = false;          ///< samples >= dims and the solve succeeded
+};
+
+class PerfModel {
+ public:
+  /// Fit the model for `metric` from every knowledge-base entry that has at
+  /// least one observation of it. Returns the fit report (also kept on the
+  /// model). The design space provides the normalization (per-knob value
+  /// range over the *full* knob definition, so annotations do not move the
+  /// encoding).
+  FitReport fit(const tuner::DesignSpace& space, const tuner::Knowledge& kb,
+                const std::string& metric);
+
+  /// Predicted metric for a configuration. Requires a prior successful fit.
+  double predict(const tuner::DesignSpace& space,
+                 const tuner::Configuration& c) const;
+
+  /// The k configurations with the best predicted metric, distinct, best
+  /// first. Enumerates the space when it is small; otherwise ranks
+  /// `scan_cap` seeded-random candidates (per-index streams keyed by `seed`,
+  /// so the ranking is reproducible at any parallelism). Ties break by
+  /// config_key for determinism.
+  std::vector<tuner::Configuration> top_k(const tuner::DesignSpace& space,
+                                          std::size_t k, bool minimize,
+                                          u64 seed = 1,
+                                          std::size_t scan_cap = 8192) const;
+
+  const FitReport& report() const { return report_; }
+  bool fitted() const { return report_.ok; }
+  const std::vector<double>& weights() const { return weights_; }
+
+  /// Normalized feature vector for a configuration: bias, one term per knob
+  /// in [0, 1], one product term per knob pair (i <= j, so squares
+  /// included). Exposed for tests.
+  std::vector<double> features(const tuner::DesignSpace& space,
+                               const tuner::Configuration& c) const;
+
+ private:
+  std::vector<double> weights_;
+  FitReport report_;
+};
+
+}  // namespace antarex::search

@@ -1,0 +1,230 @@
+#include "search/transfer.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <cstdlib>
+#include <set>
+
+#include "support/strings.hpp"
+
+namespace antarex::search {
+
+namespace {
+
+void value_range(const std::vector<double>& values, double& lo, double& hi) {
+  lo = *std::min_element(values.begin(), values.end());
+  hi = *std::max_element(values.begin(), values.end());
+}
+
+/// Distance between two same-named knobs in [0, 1]: how far apart their
+/// value ranges and cardinalities sit, each range difference normalized by
+/// the larger extent.
+double knob_distance(const tuner::Knob& a, const tuner::Knob& b) {
+  double alo, ahi, blo, bhi;
+  value_range(a.values, alo, ahi);
+  value_range(b.values, blo, bhi);
+  const double extent = std::max({ahi - alo, bhi - blo, 1e-12});
+  const double range_d =
+      0.5 * (std::fabs(alo - blo) + std::fabs(ahi - bhi)) / extent;
+  const double count_d =
+      std::fabs(std::log2(static_cast<double>(a.values.size())) -
+                std::log2(static_cast<double>(b.values.size()))) /
+      8.0;  // 8 doublings of knob resolution = maximally different
+  return std::min(1.0, 0.7 * range_d + 0.3 * count_d);
+}
+
+}  // namespace
+
+void TransferCache::record(const std::string& app,
+                           const tuner::DesignSpace& space,
+                           const tuner::Knowledge& kb) {
+  ANTAREX_REQUIRE(!app.empty(), "TransferCache: empty application name");
+  ANTAREX_REQUIRE(app.find('\n') == std::string::npos,
+                  "TransferCache: application name must be single-line");
+  TransferEntry e;
+  e.app = app;
+  for (std::size_t i = 0; i < space.knob_count(); ++i)
+    e.knobs.push_back(space.knob(i));
+  e.knowledge_text = kb.export_text();
+  for (TransferEntry& existing : entries_) {
+    if (existing.app == app) {
+      existing = std::move(e);
+      return;
+    }
+  }
+  entries_.push_back(std::move(e));
+}
+
+double TransferCache::distance(const std::vector<tuner::Knob>& source,
+                               const tuner::DesignSpace& target) {
+  std::set<std::string> names;
+  for (const tuner::Knob& k : source) names.insert(k.name);
+  for (std::size_t i = 0; i < target.knob_count(); ++i)
+    names.insert(target.knob(i).name);
+  if (names.empty()) return 1.0;
+
+  double d = 0.0;
+  for (const std::string& name : names) {
+    const auto sit = std::find_if(source.begin(), source.end(),
+                                  [&](const tuner::Knob& k) { return k.name == name; });
+    const int ti = target.knob_index(name);
+    if (sit == source.end() || ti < 0) {
+      d += 1.0;  // knob exists on one side only
+      continue;
+    }
+    d += knob_distance(*sit, target.knob(static_cast<std::size_t>(ti)));
+  }
+  return d / static_cast<double>(names.size());
+}
+
+const TransferEntry* TransferCache::nearest(const tuner::DesignSpace& space,
+                                            const std::string& exclude_app) const {
+  const TransferEntry* best = nullptr;
+  double best_d = 0.0;
+  for (const TransferEntry& e : entries_) {
+    if (e.app == exclude_app) continue;
+    const double d = distance(e.knobs, space);
+    if (!best || d < best_d || (d == best_d && e.app < best->app)) {
+      best = &e;
+      best_d = d;
+    }
+  }
+  return best;
+}
+
+std::vector<tuner::Configuration> TransferCache::seed_configs(
+    const TransferEntry& entry, const tuner::DesignSpace& space,
+    const std::string& objective, bool minimize, std::size_t k) {
+  tuner::Knowledge kb;
+  kb.import_text(entry.knowledge_text);
+
+  // Rank the source configurations by the objective.
+  struct Ranked {
+    tuner::Configuration config;
+    double value;
+  };
+  std::vector<Ranked> ranked;
+  for (const tuner::Configuration& c : kb.configs()) {
+    if (c.size() != entry.knobs.size()) continue;
+    const auto v = kb.mean(c, objective);
+    if (v) ranked.push_back({c, *v});
+  }
+  std::sort(ranked.begin(), ranked.end(), [&](const Ranked& a, const Ranked& b) {
+    if (a.value != b.value) return minimize ? a.value < b.value : a.value > b.value;
+    return tuner::config_key(a.config) < tuner::config_key(b.config);
+  });
+
+  std::vector<tuner::Configuration> seeds;
+  std::vector<std::string> keys;
+  for (const Ranked& r : ranked) {
+    if (seeds.size() >= k) break;
+    tuner::Configuration mapped(space.knob_count());
+    for (std::size_t j = 0; j < space.knob_count(); ++j) {
+      const tuner::Knob& target = space.knob(j);
+      const auto& cand = space.candidates(j);
+      const auto sit = std::find_if(
+          entry.knobs.begin(), entry.knobs.end(),
+          [&](const tuner::Knob& sk) { return sk.name == target.name; });
+      if (sit == entry.knobs.end()) {
+        mapped[j] = cand[cand.size() / 2];  // unmatched knob: middle candidate
+        continue;
+      }
+      const std::size_t src_idx = r.config[static_cast<std::size_t>(
+          sit - entry.knobs.begin())];
+      if (src_idx >= sit->values.size()) {
+        mapped[j] = cand[cand.size() / 2];  // stale entry beyond source domain
+        continue;
+      }
+      const double want = sit->values[src_idx];
+      std::size_t best_ci = cand[0];
+      double best_err = std::fabs(target.values[cand[0]] - want);
+      for (std::size_t ci : cand) {
+        const double err = std::fabs(target.values[ci] - want);
+        if (err < best_err) {
+          best_err = err;
+          best_ci = ci;
+        }
+      }
+      mapped[j] = best_ci;
+    }
+    std::string key = tuner::config_key(mapped);
+    if (std::find(keys.begin(), keys.end(), key) != keys.end()) continue;
+    keys.push_back(std::move(key));
+    seeds.push_back(std::move(mapped));
+  }
+  return seeds;
+}
+
+std::string TransferCache::export_text() const {
+  std::string out;
+  for (const TransferEntry& e : entries_) {
+    out += "[entry] " + e.app + "\n";
+    for (const tuner::Knob& k : e.knobs) {
+      out += "[knob] " + k.name + " ";
+      for (std::size_t i = 0; i < k.values.size(); ++i) {
+        if (i) out += ',';
+        out += format("%.17g", k.values[i]);
+      }
+      out += "\n";
+    }
+    out += "[kb]\n";
+    out += e.knowledge_text;
+    out += "[end]\n";
+  }
+  return out;
+}
+
+void TransferCache::import_text(const std::string& text) {
+  TransferEntry current;
+  bool in_entry = false, in_kb = false;
+  for (const std::string& raw : split(text, '\n')) {
+    if (in_kb) {
+      if (trim(raw) == "[end]") {
+        in_kb = false;
+        in_entry = false;
+        // Validate the embedded knowledge list before accepting the entry.
+        tuner::Knowledge check;
+        check.import_text(current.knowledge_text);
+        entries_.push_back(std::move(current));
+        current = {};
+        continue;
+      }
+      current.knowledge_text += raw + "\n";
+      continue;
+    }
+    const std::string line = trim(raw);
+    if (line.empty()) continue;
+    if (line.rfind("[entry] ", 0) == 0) {
+      ANTAREX_REQUIRE(!in_entry, "TransferCache: nested [entry]");
+      in_entry = true;
+      current.app = trim(line.substr(std::string("[entry] ").size()));
+      ANTAREX_REQUIRE(!current.app.empty(), "TransferCache: unnamed [entry]");
+    } else if (line.rfind("[knob] ", 0) == 0) {
+      ANTAREX_REQUIRE(in_entry, "TransferCache: [knob] outside an entry");
+      const std::string body = line.substr(std::string("[knob] ").size());
+      const auto fields = split(body, ' ');
+      ANTAREX_REQUIRE(fields.size() == 2,
+                      "TransferCache: malformed knob line '" + line + "'");
+      tuner::Knob k;
+      k.name = fields[0];
+      for (const std::string& v : split(fields[1], ',')) {
+        char* end = nullptr;
+        const double value = std::strtod(v.c_str(), &end);
+        ANTAREX_REQUIRE(end && *end == '\0',
+                        "TransferCache: bad knob value '" + v + "'");
+        k.values.push_back(value);
+      }
+      ANTAREX_REQUIRE(!k.values.empty(), "TransferCache: knob without values");
+      current.knobs.push_back(std::move(k));
+    } else if (line == "[kb]") {
+      ANTAREX_REQUIRE(in_entry, "TransferCache: [kb] outside an entry");
+      in_kb = true;
+    } else {
+      throw Error("TransferCache: unexpected line '" + line + "'");
+    }
+  }
+  ANTAREX_REQUIRE(!in_entry && !in_kb,
+                  "TransferCache: truncated input (missing [end])");
+}
+
+}  // namespace antarex::search

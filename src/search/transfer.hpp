@@ -1,0 +1,69 @@
+// Cross-run knowledge transfer: warm-start a new application's search from
+// the nearest neighbour in a cache of previous tuning runs.
+//
+// The PowerStack "end-to-end auto-tuning" motivation: design-space
+// exploration results should outlive the run that produced them. Each cache
+// entry stores an application name, the knob signature of its design space
+// (names + value lists), and the run's exported knowledge base. A new
+// application queries the cache with its own design space; the nearest entry
+// by knob-signature distance donates its best-known configurations, mapped
+// knob-by-knob (matched by name, values snapped to the nearest candidate in
+// the new space) into seeds for the evolutionary starting population.
+//
+// The cache serializes to a line-oriented text format so it can ship between
+// runs the same way the mARGOt operating-point lists do.
+#pragma once
+
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "tuner/knob.hpp"
+#include "tuner/knowledge.hpp"
+
+namespace antarex::search {
+
+struct TransferEntry {
+  std::string app;
+  std::vector<tuner::Knob> knobs;  ///< source design-space signature
+  std::string knowledge_text;      ///< tuner::Knowledge::export_text()
+};
+
+class TransferCache {
+ public:
+  /// Record (or replace) the entry for `app` from a finished run.
+  void record(const std::string& app, const tuner::DesignSpace& space,
+              const tuner::Knowledge& kb);
+
+  std::size_t size() const { return entries_.size(); }
+  const std::vector<TransferEntry>& entries() const { return entries_; }
+
+  /// Nearest entry to `space` by knob-signature distance (never an entry
+  /// named `exclude_app`); nullptr when the cache has no candidate. Ties
+  /// break by app name for determinism.
+  const TransferEntry* nearest(const tuner::DesignSpace& space,
+                               const std::string& exclude_app = {}) const;
+
+  /// Signature distance in [0, 1]: per knob of the union of names, matched
+  /// knobs contribute normalized range/cardinality differences, unmatched
+  /// knobs contribute 1.
+  static double distance(const std::vector<tuner::Knob>& source,
+                         const tuner::DesignSpace& target);
+
+  /// The entry's k best configurations for `objective`, mapped into `space`:
+  /// knobs matched by name carry their value over (snapped to the nearest
+  /// candidate value); knobs the source never had default to the middle
+  /// candidate. Mapped duplicates collapse. Best first.
+  static std::vector<tuner::Configuration> seed_configs(
+      const TransferEntry& entry, const tuner::DesignSpace& space,
+      const std::string& objective, bool minimize, std::size_t k);
+
+  /// Serialization round-trip for shipping the cache between runs.
+  std::string export_text() const;
+  void import_text(const std::string& text);
+
+ private:
+  std::vector<TransferEntry> entries_;
+};
+
+}  // namespace antarex::search

@@ -101,6 +101,33 @@ std::vector<Configuration> Knowledge::pareto_front(
   return front;
 }
 
+std::optional<Configuration> Knowledge::nearest(const Configuration& probe,
+                                                const std::string& metric) const {
+  ANTAREX_REQUIRE(!probe.empty(), "Knowledge::nearest: empty probe");
+  const Entry* best = nullptr;
+  double best_d = 0.0;
+  for (const auto& [key, e] : table_) {
+    if (e.config.size() != probe.size()) continue;
+    if (!metric.empty()) {
+      const auto mit = e.stats.find(metric);
+      if (mit == e.stats.end() || mit->second.count() == 0) continue;
+    }
+    double d = 0.0;
+    for (std::size_t i = 0; i < probe.size(); ++i) {
+      const double diff = static_cast<double>(e.config[i]) -
+                          static_cast<double>(probe[i]);
+      d += diff * diff;
+    }
+    // table_ iterates in config_key order, so strict < is the tie-break.
+    if (!best || d < best_d) {
+      best = &e;
+      best_d = d;
+    }
+  }
+  if (!best) return std::nullopt;
+  return best->config;
+}
+
 void Knowledge::clear() {
   table_.clear();
   observations_ = 0;

@@ -51,6 +51,15 @@ class Knowledge {
   std::vector<Configuration> pareto_front(const std::string& metric_a,
                                           const std::string& metric_b) const;
 
+  /// Nearest observed configuration to `probe` by squared distance over the
+  /// knob value-indices (same-arity entries only; ties break by config_key).
+  /// With `metric` given, only entries with at least one observation of that
+  /// metric qualify — the cross-run warm-start query: "which configuration
+  /// that I have real numbers for sits closest to this point?". nullopt when
+  /// nothing qualifies.
+  std::optional<Configuration> nearest(const Configuration& probe,
+                                       const std::string& metric = {}) const;
+
   void clear();
 
   /// Serialize to a line-oriented text format (mARGOt-style operating-point

@@ -110,4 +110,12 @@ Configuration ModelGuidedStrategy::next(const DesignSpace& space,
   return best;
 }
 
+std::unique_ptr<Strategy> make_builtin_strategy(const std::string& name) {
+  if (name == "flat" || name == "full-search")
+    return std::make_unique<FullSearchStrategy>();
+  if (name == "epsilon-greedy") return std::make_unique<EpsilonGreedyStrategy>();
+  if (name == "model-guided") return std::make_unique<ModelGuidedStrategy>();
+  return nullptr;
+}
+
 }  // namespace antarex::tuner

@@ -96,4 +96,10 @@ class ModelGuidedStrategy final : public Strategy {
 /// Uniformly random configuration from the (annotated) space.
 Configuration random_config(const DesignSpace& space, Rng& rng);
 
+/// Factory over the built-in strategies: "flat" / "full-search",
+/// "epsilon-greedy", "model-guided". Returns nullptr for names this module
+/// does not own (antarex::search layers its "evolutionary" strategy on top
+/// via search::make_strategy).
+std::unique_ptr<Strategy> make_builtin_strategy(const std::string& name);
+
 }  // namespace antarex::tuner

@@ -306,3 +306,20 @@ INSTANTIATE_TEST_SUITE_P(FastSeeds, CapGovernanceProps,
                          ::testing::Range<u64>(1, 49));
 
 }  // namespace antarex::govern
+
+// ---------------------------------------------------------------------------
+// Design-space search property sweep (fast slice).
+//
+// The model-seeded evolutionary search invariant suite the nightly tier
+// sweeps over 1000 seeds (test_search_long.cpp) runs here over 48 seeds so
+// every default test run exercises randomized design spaces end to end:
+// bounds-respecting genomes, monotone best-so-far, and byte-identical
+// trajectories across 1/2/8-worker pools.
+// ---------------------------------------------------------------------------
+#include "search_props.hpp"
+
+namespace antarex::search {
+
+INSTANTIATE_TEST_SUITE_P(FastSeeds, SearchProps, ::testing::Range<u64>(1, 49));
+
+}  // namespace antarex::search

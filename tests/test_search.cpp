@@ -1,0 +1,482 @@
+// Tests for antarex::search: the performance model (fit quality, top-K
+// ranking), the genetic engine (domain-respecting operators, elitism,
+// duplicate suppression, determinism), the SearchStrategy two-stage flow
+// through the Autotuner batch path (convergence + byte-identical
+// trajectories across worker counts), the cross-run transfer cache
+// (nearest-neighbour, knob mapping, serialization round-trip), and the
+// strategy factory.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cmath>
+#include <map>
+#include <memory>
+#include <set>
+
+#include "exec/exec.hpp"
+#include "search/search.hpp"
+#include "tuner/autotuner.hpp"
+
+namespace antarex::search {
+namespace {
+
+using tuner::Configuration;
+using tuner::DesignSpace;
+using tuner::Knob;
+
+DesignSpace three_knob_space() {
+  DesignSpace s;
+  s.add_knob({"tile", {4, 8, 16, 32, 64, 128, 256}});
+  s.add_knob({"unroll", {1, 2, 4, 8}});
+  s.add_knob({"threads", {1, 2, 4, 8, 16}});
+  return s;
+}
+
+/// Landscape exactly in the model family: linear + one interaction over the
+/// normalized encodings. The model must fit it to r2 ~ 1.
+double planar_cost(const DesignSpace& s, const Configuration& c) {
+  const double t = (s.value(c, "tile") - 4.0) / 252.0;
+  const double u = (s.value(c, "unroll") - 1.0) / 7.0;
+  const double h = (s.value(c, "threads") - 1.0) / 15.0;
+  return 2.0 + 1.5 * t - 0.8 * u + 0.6 * h + 0.9 * t * u;
+}
+
+/// Curved landscape with a unique interior optimum for convergence tests.
+double bowl_cost(const DesignSpace& s, const Configuration& c) {
+  const double tile = s.value(c, "tile");
+  const double unroll = s.value(c, "unroll");
+  const double threads = s.value(c, "threads");
+  double v = 1.0;
+  v += 0.002 * (tile - 32.0) * (tile - 32.0) / 32.0;
+  v += 0.15 * std::fabs(std::log2(unroll / 4.0));
+  v += 0.35 * std::fabs(std::log2(threads / 8.0));
+  return v;
+}
+
+double oracle(const DesignSpace& s,
+              double (*cost)(const DesignSpace&, const Configuration&)) {
+  double best = 1e300;
+  for (std::size_t i = 0; i < s.size(); ++i)
+    best = std::min(best, cost(s, s.at(i)));
+  return best;
+}
+
+// --------------------------------------------------------------------------
+// PerfModel
+// --------------------------------------------------------------------------
+
+TEST(PerfModel, UnderdeterminedFitIsRejected) {
+  const DesignSpace s = three_knob_space();
+  tuner::Knowledge kb;
+  kb.observe({s.at(0), {{"time_s", 1.0}}});
+  kb.observe({s.at(1), {{"time_s", 2.0}}});
+  PerfModel m;
+  const FitReport r = m.fit(s, kb, "time_s");
+  EXPECT_FALSE(r.ok);
+  EXPECT_EQ(r.samples, 2u);
+  EXPECT_EQ(r.dims, 1u + 3u + 6u);  // bias + linear + interactions (i <= j)
+  EXPECT_FALSE(m.fitted());
+  EXPECT_THROW(m.predict(s, s.at(0)), Error);
+}
+
+TEST(PerfModel, FitsItsOwnFamilyExactly) {
+  const DesignSpace s = three_knob_space();
+  tuner::Knowledge kb;
+  Rng rng(7);
+  for (int i = 0; i < 24; ++i) {
+    const Configuration c = tuner::random_config(s, rng);
+    kb.observe({c, {{"time_s", planar_cost(s, c)}}});
+  }
+  PerfModel m;
+  const FitReport r = m.fit(s, kb, "time_s");
+  ASSERT_TRUE(r.ok);
+  EXPECT_GT(r.r2, 0.999);
+  EXPECT_LT(r.rmse, 1e-6);
+  // Out-of-sample prediction is exact too: the landscape is in-family.
+  for (std::size_t i = 0; i < s.size(); i += 11)
+    EXPECT_NEAR(m.predict(s, s.at(i)), planar_cost(s, s.at(i)), 1e-6);
+}
+
+TEST(PerfModel, TopKRanksTheTrueOptimaFirst) {
+  const DesignSpace s = three_knob_space();
+  tuner::Knowledge kb;
+  Rng rng(11);
+  for (int i = 0; i < 30; ++i) {
+    const Configuration c = tuner::random_config(s, rng);
+    kb.observe({c, {{"time_s", planar_cost(s, c)}}});
+  }
+  PerfModel m;
+  ASSERT_TRUE(m.fit(s, kb, "time_s").ok);
+
+  const auto top = m.top_k(s, 5, /*minimize=*/true);
+  ASSERT_EQ(top.size(), 5u);
+  // Distinct, and the first one is the true enumerated optimum.
+  std::set<std::string> keys;
+  for (const auto& c : top) keys.insert(tuner::config_key(c));
+  EXPECT_EQ(keys.size(), top.size());
+  double best = 1e300;
+  Configuration best_c;
+  for (std::size_t i = 0; i < s.size(); ++i) {
+    const double v = planar_cost(s, s.at(i));
+    if (v < best) {
+      best = v;
+      best_c = s.at(i);
+    }
+  }
+  EXPECT_EQ(tuner::config_key(top[0]), tuner::config_key(best_c));
+  // Predictions are sorted best-first.
+  for (std::size_t i = 1; i < top.size(); ++i)
+    EXPECT_LE(m.predict(s, top[i - 1]), m.predict(s, top[i]) + 1e-12);
+}
+
+TEST(PerfModel, SampledScanIsDeterministic) {
+  const DesignSpace s = three_knob_space();
+  tuner::Knowledge kb;
+  Rng rng(13);
+  for (int i = 0; i < 30; ++i) {
+    const Configuration c = tuner::random_config(s, rng);
+    kb.observe({c, {{"time_s", planar_cost(s, c)}}});
+  }
+  PerfModel m;
+  ASSERT_TRUE(m.fit(s, kb, "time_s").ok);
+  // Force the sampled path with a scan cap below the space size.
+  const auto a = m.top_k(s, 4, true, /*seed=*/3, /*scan_cap=*/64);
+  const auto b = m.top_k(s, 4, true, /*seed=*/3, /*scan_cap=*/64);
+  ASSERT_EQ(a.size(), b.size());
+  for (std::size_t i = 0; i < a.size(); ++i)
+    EXPECT_EQ(tuner::config_key(a[i]), tuner::config_key(b[i]));
+}
+
+// --------------------------------------------------------------------------
+// GeneticEngine
+// --------------------------------------------------------------------------
+
+TEST(GeneticEngine, ChildrenRespectAnnotatedDomains) {
+  DesignSpace s = three_knob_space();
+  s.restrict_range("tile", 16, 64);  // candidates shrink to {16, 32, 64}
+  GeneticConfig cfg;
+  cfg.population = 12;
+  GeneticEngine engine(cfg);
+
+  // Parents straddle the annotation (some indices outside the candidates).
+  std::vector<Configuration> parents;
+  std::vector<double> fitness;
+  Rng rng(5);
+  for (std::size_t i = 0; i < 8; ++i) {
+    Configuration c(3);
+    c[0] = i % s.knob(0).values.size();  // includes out-of-annotation tiles
+    c[1] = i % s.knob(1).values.size();
+    c[2] = i % s.knob(2).values.size();
+    parents.push_back(c);
+    fitness.push_back(static_cast<double>(i));
+  }
+  const auto children = engine.next_generation(s, parents, fitness, true, 1);
+  ASSERT_EQ(children.size(), cfg.population);
+  for (const Configuration& c : children) {
+    ASSERT_TRUE(s.valid(c));
+    // Elites pass through unchanged (may predate the annotation); every
+    // *bred* child must draw from the candidate lists. Elites here are
+    // parents[0] and parents[1] by fitness.
+    if (c == parents[0] || c == parents[1]) continue;
+    for (std::size_t k = 0; k < 3; ++k) {
+      const auto& cand = s.candidates(k);
+      EXPECT_NE(std::find(cand.begin(), cand.end(), c[k]), cand.end());
+    }
+  }
+}
+
+TEST(GeneticEngine, ElitesSurviveAndGenerationsAreDeterministic) {
+  const DesignSpace s = three_knob_space();
+  GeneticConfig cfg;
+  cfg.population = 10;
+  cfg.elites = 2;
+  GeneticEngine engine(cfg);
+
+  std::vector<Configuration> parents;
+  std::vector<double> fitness;
+  Rng rng(9);
+  for (int i = 0; i < 10; ++i) {
+    parents.push_back(tuner::random_config(s, rng));
+    fitness.push_back(bowl_cost(s, parents.back()));
+  }
+  const std::size_t best =
+      static_cast<std::size_t>(std::min_element(fitness.begin(), fitness.end()) -
+                               fitness.begin());
+
+  const auto gen_a = engine.next_generation(s, parents, fitness, true, 3);
+  const auto gen_b = engine.next_generation(s, parents, fitness, true, 3);
+  ASSERT_EQ(gen_a.size(), gen_b.size());
+  for (std::size_t i = 0; i < gen_a.size(); ++i)
+    EXPECT_EQ(tuner::config_key(gen_a[i]), tuner::config_key(gen_b[i]));
+
+  // The best parent survives verbatim (elitism).
+  bool found = false;
+  for (const Configuration& c : gen_a)
+    if (tuner::config_key(c) == tuner::config_key(parents[best])) found = true;
+  EXPECT_TRUE(found);
+
+  // Different generation index => different stream => (generically)
+  // different children.
+  const auto gen_c = engine.next_generation(s, parents, fitness, true, 4);
+  std::string a_keys, c_keys;
+  for (const auto& c : gen_a) a_keys += tuner::config_key(c) + ";";
+  for (const auto& c : gen_c) c_keys += tuner::config_key(c) + ";";
+  EXPECT_NE(a_keys, c_keys);
+}
+
+TEST(GeneticEngine, DuplicatesAreSuppressed) {
+  const DesignSpace s = three_knob_space();  // 140 configs: room to be distinct
+  GeneticConfig cfg;
+  cfg.population = 16;
+  GeneticEngine engine(cfg);
+  std::vector<Configuration> parents;
+  std::vector<double> fitness;
+  Rng rng(21);
+  for (int i = 0; i < 16; ++i) {
+    parents.push_back(tuner::random_config(s, rng));
+    fitness.push_back(bowl_cost(s, parents.back()));
+  }
+  const auto children = engine.next_generation(s, parents, fitness, true, 1);
+  std::set<std::string> keys;
+  for (const Configuration& c : children) keys.insert(tuner::config_key(c));
+  EXPECT_EQ(keys.size(), children.size());
+}
+
+// --------------------------------------------------------------------------
+// SearchStrategy through the Autotuner
+// --------------------------------------------------------------------------
+
+TEST(SearchStrategy, ConvergesOnTheBowl) {
+  DesignSpace s = three_knob_space();
+  const double target = 1.05 * oracle(s, bowl_cost);
+  tuner::Autotuner tuner(s, std::make_unique<SearchStrategy>(), {}, 17);
+  int evals_to_target = -1;
+  for (int i = 1; i <= 140; ++i) {
+    const Configuration& c = tuner.next_configuration();
+    tuner.report({{"time_s", bowl_cost(tuner.space(), c)}});
+    const auto best = tuner.best();
+    if (best && bowl_cost(tuner.space(), *best) <= target) {
+      evals_to_target = i;
+      break;
+    }
+  }
+  ASSERT_GT(evals_to_target, 0) << "no convergence within one space sweep";
+  EXPECT_LT(evals_to_target, 100);  // beats exhaustive enumeration
+}
+
+TEST(SearchStrategy, TrajectoryIsIdenticalAcrossWorkerCounts) {
+  // The acceptance criterion: next_batch generations evaluated on pools of
+  // 1, 2, and 8 workers produce byte-identical search trajectories.
+  auto run = [](int threads) {
+    DesignSpace s = three_knob_space();
+    SearchConfig cfg;
+    cfg.seed = 99;
+    cfg.genetic.seed = 99;
+    tuner::Autotuner tuner(s, std::make_unique<SearchStrategy>(cfg), {}, 4);
+    exec::ThreadPool pool(threads);
+    std::string trajectory;
+    for (int round = 0; round < 10; ++round) {
+      const auto configs = tuner.next_batch(8);
+      for (const auto& c : configs) trajectory += tuner::config_key(c) + ";";
+      const auto costs = exec::parallel_map<double>(
+          pool, configs.size(), 1,
+          [&](std::size_t i) { return bowl_cost(tuner.space(), configs[i]); });
+      std::vector<std::map<std::string, double>> metrics;
+      for (double v : costs) metrics.push_back({{"time_s", v}});
+      tuner.report_batch(metrics);
+    }
+    const auto best = tuner.best();
+    trajectory += "| best " + (best ? tuner::config_key(*best) : "none");
+    return trajectory;
+  };
+  const std::string t1 = run(1);
+  EXPECT_EQ(t1, run(2));
+  EXPECT_EQ(t1, run(8));
+}
+
+TEST(SearchStrategy, ModelIsFitAfterBootstrap) {
+  DesignSpace s = three_knob_space();
+  SearchConfig cfg;
+  cfg.bootstrap = 14;
+  auto strategy = std::make_unique<SearchStrategy>(cfg);
+  SearchStrategy* raw = strategy.get();
+  tuner::Autotuner tuner(s, std::move(strategy), {}, 23);
+  for (int i = 0; i < 14; ++i) {
+    const Configuration& c = tuner.next_configuration();
+    tuner.report({{"time_s", planar_cost(tuner.space(), c)}});
+  }
+  EXPECT_EQ(raw->model(), nullptr);  // still bootstrapping
+  // Next decision assembles generation 0 and fits the model.
+  tuner.next_configuration();
+  tuner.report({{"time_s", 1.0}});
+  ASSERT_NE(raw->model(), nullptr);
+  EXPECT_GE(raw->model()->report().samples, 10u);
+  EXPECT_GT(raw->model()->report().r2, 0.99);  // in-family landscape
+}
+
+TEST(SearchStrategy, ResetRestartsTheFlow) {
+  DesignSpace s = three_knob_space();
+  SearchConfig cfg;
+  cfg.bootstrap = 4;
+  SearchStrategy strategy(cfg);
+  tuner::Knowledge kb;
+  Rng rng(1);
+  std::string first;
+  for (int i = 0; i < 6; ++i) {
+    const Configuration c = strategy.next(s, kb, "time_s", true, rng);
+    if (i == 0) first = tuner::config_key(c);
+    strategy.observe(s, c, bowl_cost(s, c));
+    kb.observe({c, {{"time_s", bowl_cost(s, c)}}});
+  }
+  strategy.reset();
+  tuner::Knowledge kb2;
+  EXPECT_EQ(tuner::config_key(strategy.next(s, kb2, "time_s", true, rng)),
+            first);  // same seeded streams from the top
+  EXPECT_EQ(strategy.generation(), 0u);
+}
+
+// --------------------------------------------------------------------------
+// TransferCache
+// --------------------------------------------------------------------------
+
+/// A knowledge base over any space: the cost is the plain sum of knob values,
+/// so the helper works for arbitrary knob names.
+tuner::Knowledge learned_kb(const DesignSpace& s, int samples, u64 seed) {
+  tuner::Knowledge kb;
+  Rng rng(seed);
+  for (int i = 0; i < samples; ++i) {
+    const Configuration c = tuner::random_config(s, rng);
+    double cost = 1.0;
+    for (std::size_t k = 0; k < s.knob_count(); ++k) cost += s.value(c, k);
+    kb.observe({c, {{"time_s", cost}}});
+  }
+  return kb;
+}
+
+TEST(TransferCache, NearestPrefersTheMatchingSignature) {
+  TransferCache cache;
+  const DesignSpace docking = three_knob_space();
+  cache.record("docking", docking, learned_kb(docking, 20, 3));
+
+  DesignSpace nav;
+  nav.add_knob({"cache_mb", {64, 128, 256}});
+  nav.add_knob({"quality", {1, 2, 3, 4}});
+  cache.record("navigation", nav, learned_kb(nav, 10, 4));
+
+  // A near-clone of the docking space (same knob names, shifted ranges)
+  // must warm-start from "docking", not "navigation".
+  DesignSpace docking2;
+  docking2.add_knob({"tile", {8, 16, 32, 64, 128}});
+  docking2.add_knob({"unroll", {1, 2, 4}});
+  docking2.add_knob({"threads", {2, 4, 8}});
+  const TransferEntry* hit = cache.nearest(docking2);
+  ASSERT_NE(hit, nullptr);
+  EXPECT_EQ(hit->app, "docking");
+
+  // Excluding the app itself falls back to the other entry.
+  const TransferEntry* other = cache.nearest(docking2, "docking");
+  ASSERT_NE(other, nullptr);
+  EXPECT_EQ(other->app, "navigation");
+}
+
+TEST(TransferCache, SeedConfigsMapKnobsByNameAndValue) {
+  TransferCache cache;
+  const DesignSpace src = three_knob_space();
+  tuner::Knowledge kb;
+  // One clearly-best measured config: tile=32, unroll=4, threads=8.
+  const Configuration best{3, 2, 3};
+  kb.observe({best, {{"time_s", 0.5}}});
+  kb.observe({Configuration{0, 0, 0}, {{"time_s", 9.0}}});
+  cache.record("src", src, kb);
+
+  DesignSpace dst;
+  dst.add_knob({"tile", {8, 24, 48, 96}});      // nearest to 32 is 24
+  dst.add_knob({"unroll", {1, 2, 4}});          // exact 4 exists
+  dst.add_knob({"batch", {16, 32, 64}});        // no source knob: middle
+  const auto seeds =
+      TransferCache::seed_configs(*cache.nearest(dst), dst, "time_s", true, 2);
+  ASSERT_EQ(seeds.size(), 2u);
+  EXPECT_DOUBLE_EQ(dst.value(seeds[0], "tile"), 24.0);
+  EXPECT_DOUBLE_EQ(dst.value(seeds[0], "unroll"), 4.0);
+  EXPECT_DOUBLE_EQ(dst.value(seeds[0], "batch"), 32.0);
+}
+
+TEST(TransferCache, ExportImportRoundTrips) {
+  TransferCache cache;
+  const DesignSpace s = three_knob_space();
+  cache.record("app-a", s, learned_kb(s, 15, 5));
+  DesignSpace nav;
+  nav.add_knob({"quality", {1, 2, 3}});
+  cache.record("app-b", nav, learned_kb(nav, 6, 6));
+
+  const std::string text = cache.export_text();
+  TransferCache loaded;
+  loaded.import_text(text);
+  ASSERT_EQ(loaded.size(), cache.size());
+  EXPECT_EQ(loaded.export_text(), text);  // byte-stable round trip
+  EXPECT_EQ(loaded.entries()[0].app, "app-a");
+  EXPECT_EQ(loaded.entries()[0].knobs.size(), 3u);
+  EXPECT_EQ(loaded.entries()[0].knowledge_text,
+            cache.entries()[0].knowledge_text);
+}
+
+TEST(TransferCache, ImportRejectsMalformedInput) {
+  TransferCache cache;
+  EXPECT_THROW(cache.import_text("[knob] orphan 1,2\n"), Error);
+  EXPECT_THROW(cache.import_text("[entry] a\n[kb]\n"), Error);  // no [end]
+  EXPECT_THROW(cache.import_text("garbage\n"), Error);
+}
+
+TEST(TransferCache, WarmStartedSearchStartsNearTheOptimum) {
+  // End-to-end: a finished docking run warm-starts a sibling space; the
+  // strategy's generation 0 contains the mapped seed, so the best-known
+  // config is good immediately after the bootstrap probes.
+  const DesignSpace src = three_knob_space();
+  tuner::Autotuner first(src, std::make_unique<SearchStrategy>(), {}, 31);
+  for (int i = 0; i < 60; ++i) {
+    const Configuration& c = first.next_configuration();
+    first.report({{"time_s", bowl_cost(first.space(), c)}});
+  }
+  TransferCache cache;
+  cache.record("first", first.space(), first.knowledge());
+
+  DesignSpace dst;
+  dst.add_knob({"tile", {8, 16, 32, 64}});
+  dst.add_knob({"unroll", {1, 2, 4, 8}});
+  dst.add_knob({"threads", {2, 4, 8}});
+  const TransferEntry* hit = cache.nearest(dst, "second");
+  ASSERT_NE(hit, nullptr);
+
+  SearchConfig cfg;
+  cfg.bootstrap = 4;
+  auto strategy = std::make_unique<SearchStrategy>(cfg);
+  strategy->warm_start(
+      TransferCache::seed_configs(*hit, dst, "time_s", true, 4));
+  tuner::Autotuner second(dst, std::move(strategy), {}, 32);
+  // Bootstrap probes + one generation: the transferred seed is in there.
+  double best_seen = 1e300;
+  for (int i = 0; i < 4 + 24; ++i) {
+    const Configuration& c = second.next_configuration();
+    const double v = bowl_cost(second.space(), c);
+    best_seen = std::min(best_seen, v);
+    second.report({{"time_s", v}});
+  }
+  EXPECT_LE(best_seen, 1.05 * oracle(dst, bowl_cost));
+}
+
+// --------------------------------------------------------------------------
+// Strategy factory
+// --------------------------------------------------------------------------
+
+TEST(MakeStrategy, ResolvesEveryKnownName) {
+  EXPECT_EQ(make_strategy("flat")->name(), "full-search");
+  EXPECT_EQ(make_strategy("full-search")->name(), "full-search");
+  EXPECT_EQ(make_strategy("epsilon-greedy")->name(), "epsilon-greedy");
+  EXPECT_EQ(make_strategy("model-guided")->name(), "model-guided");
+  EXPECT_EQ(make_strategy("evolutionary")->name(), "evolutionary");
+  EXPECT_EQ(make_strategy("search")->name(), "evolutionary");
+  EXPECT_THROW(make_strategy("simulated-annealing"), Error);
+}
+
+}  // namespace
+}  // namespace antarex::search

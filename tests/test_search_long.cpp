@@ -1,0 +1,12 @@
+// Nightly 1000-seed sweep of the antarex::search property suite
+// (bounds-respecting genomes, monotone best-so-far, determinism across pool
+// sizes). Runs behind the `long` ctest label; test_fuzz.cpp carries the
+// CI-fast 48-seed slice.
+#include "search_props.hpp"
+
+namespace antarex::search {
+
+INSTANTIATE_TEST_SUITE_P(ThousandSeeds, SearchProps,
+                         ::testing::Range<u64>(1, 1001));
+
+}  // namespace antarex::search

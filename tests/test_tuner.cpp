@@ -208,6 +208,55 @@ TEST(KnowledgeTest, ImportSkipsCommentsAndRejectsGarbage) {
   EXPECT_THROW(k.import_text("x,y t 1 5.0"), Error);
 }
 
+TEST(KnowledgeTest, NearestFindsClosestObservedConfig) {
+  Knowledge k;
+  EXPECT_FALSE(k.nearest({1, 1}).has_value());
+
+  k.observe({{0, 0}, {{"t", 1.0}}});
+  k.observe({{4, 4}, {{"t", 2.0}}});
+  k.observe({{9}, {{"t", 3.0}}});  // different arity: never a candidate
+
+  const auto near_origin = k.nearest({1, 1});
+  ASSERT_TRUE(near_origin.has_value());
+  EXPECT_EQ(*near_origin, (Configuration{0, 0}));
+
+  const auto near_far = k.nearest({3, 5});
+  ASSERT_TRUE(near_far.has_value());
+  EXPECT_EQ(*near_far, (Configuration{4, 4}));
+
+  // An exact hit returns itself.
+  EXPECT_EQ(*k.nearest({4, 4}), (Configuration{4, 4}));
+}
+
+TEST(KnowledgeTest, NearestFiltersByMetricAndBreaksTiesByKey) {
+  Knowledge k;
+  k.observe({{0, 2}, {{"t", 1.0}}});
+  k.observe({{2, 0}, {{"e", 5.0}}});
+
+  // Both are equidistant from {1, 1}; the lower config_key wins.
+  EXPECT_EQ(*k.nearest({1, 1}), (Configuration{0, 2}));
+  // With a metric filter only the entry holding that metric qualifies.
+  EXPECT_EQ(*k.nearest({1, 1}, "e"), (Configuration{2, 0}));
+  EXPECT_FALSE(k.nearest({1, 1}, "power").has_value());
+}
+
+TEST(KnowledgeTest, NearestSurvivesSerializationRoundTrip) {
+  Knowledge k;
+  k.observe({{0, 0}, {{"t", 1.0}}});
+  k.observe({{3, 2}, {{"t", 2.0}, {"e", 4.0}}});
+  k.observe({{5, 5}, {{"e", 6.0}}});
+
+  Knowledge restored;
+  restored.import_text(k.export_text());
+  for (const Configuration probe :
+       {Configuration{0, 1}, Configuration{4, 2}, Configuration{5, 4}}) {
+    EXPECT_EQ(*restored.nearest(probe), *k.nearest(probe));
+    EXPECT_EQ(*restored.nearest(probe, "e"), *k.nearest(probe, "e"));
+  }
+  // The round trip is byte-stable, so a second hop changes nothing.
+  EXPECT_EQ(restored.export_text(), k.export_text());
+}
+
 // --------------------------------------------------------------------------
 // RLS learner
 // --------------------------------------------------------------------------
