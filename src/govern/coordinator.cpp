@@ -220,6 +220,19 @@ void CapCoordinator::close_epoch(double now_s) {
   std::fill(node_epoch_j_.begin(), node_epoch_j_.end(), 0.0);
 }
 
+void CapCoordinator::set_node_weight(std::size_t i, double weight) {
+  ANTAREX_REQUIRE(i < cluster_.nodes().size(),
+                  "CapCoordinator: node weight index out of range");
+  ANTAREX_REQUIRE(weight > 0.0, "CapCoordinator: node weight must be > 0");
+  if (ext_weight_.size() < cluster_.nodes().size())
+    ext_weight_.resize(cluster_.nodes().size(), 1.0);
+  ext_weight_[i] = weight;
+}
+
+double CapCoordinator::node_weight(std::size_t i) const {
+  return i < ext_weight_.size() ? ext_weight_[i] : 1.0;
+}
+
 void CapCoordinator::renegotiate() {
   const auto& nodes = cluster_.nodes();
   budgets_w_.assign(nodes.size(), 0.0);
@@ -247,7 +260,8 @@ void CapCoordinator::renegotiate() {
     const double mean =
         epoch_t_ > 0.0 ? node_epoch_j_[i] / epoch_t_ : floor_w[i];
     const double demand = std::max(mean, floor_w[i]);
-    weight[i] = std::pow(demand, cfg_.fairness_alpha) * prio[i];
+    weight[i] = std::pow(demand, cfg_.fairness_alpha) * prio[i] *
+                (i < ext_weight_.size() ? ext_weight_[i] : 1.0);
     floor_total += floor_w[i];
     weight_total += weight[i];
   }

@@ -94,6 +94,12 @@ class CapCoordinator {
   const CapCoordinatorConfig& config() const { return cfg_; }
   /// Current per-node budgets (W); 0 for nodes considered dead.
   const std::vector<double>& node_budgets_w() const { return budgets_w_; }
+  /// External share multiplier applied to node i at the next renegotiation
+  /// (default 1.0). antarex::monitor shaves a flagged node's share while an
+  /// anomaly episode is open — a throttled or slow node cannot use its
+  /// budget, so the headroom flows to healthy nodes. Values clamp to > 0.
+  void set_node_weight(std::size_t i, double weight);
+  double node_weight(std::size_t i) const;
   /// Per-job energy ledger (key = job name), conserved to device energy.
   const obs::AttributionTable& job_energy() const { return job_energy_; }
   /// Mean IT power of the last closed epoch (0 before the first).
@@ -115,6 +121,7 @@ class CapCoordinator {
   std::vector<std::shared_ptr<Actuator>> actuators_;
   std::vector<rtrm::NodePowerController> node_ctl_;
   std::vector<double> budgets_w_;
+  std::vector<double> ext_weight_;  ///< set_node_weight multipliers
   obs::AttributionTable job_energy_;
   CapStats stats_;
 

@@ -1,0 +1,214 @@
+#include "monitor/aggregate.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+namespace antarex::monitor {
+
+// --- QuantileSketch ---------------------------------------------------------
+
+QuantileSketch::QuantileSketch(double lo, double hi, std::size_t bins)
+    : lo_(lo), hi_(hi), bins_(bins, 0) {
+  ANTAREX_REQUIRE(bins > 0, "QuantileSketch: need at least one bin");
+  ANTAREX_REQUIRE(hi > lo, "QuantileSketch: empty value range");
+}
+
+void QuantileSketch::add(double x) {
+  const double frac = (x - lo_) / (hi_ - lo_);
+  auto idx = static_cast<std::ptrdiff_t>(
+      std::floor(frac * static_cast<double>(bins_.size())));
+  idx = std::clamp<std::ptrdiff_t>(idx, 0,
+                                   static_cast<std::ptrdiff_t>(bins_.size()) - 1);
+  ++bins_[static_cast<std::size_t>(idx)];
+  ++count_;
+}
+
+double QuantileSketch::approx_quantile(double q) const {
+  ANTAREX_REQUIRE(q >= 0.0 && q <= 1.0, "QuantileSketch: q outside [0,1]");
+  if (count_ == 0) return 0.0;
+  const double target =
+      std::clamp(q * static_cast<double>(count_), 0.0, static_cast<double>(count_));
+  const double width = (hi_ - lo_) / static_cast<double>(bins_.size());
+  double cum = 0.0;
+  for (std::size_t i = 0; i < bins_.size(); ++i) {
+    const double c = static_cast<double>(bins_[i]);
+    if (c <= 0.0) continue;
+    if (cum + c >= target) {
+      const double frac = std::clamp((target - cum) / c, 0.0, 1.0);
+      return lo_ + (static_cast<double>(i) + frac) * width;
+    }
+    cum += c;
+  }
+  return hi_;
+}
+
+void QuantileSketch::merge(const QuantileSketch& o) {
+  ANTAREX_REQUIRE(o.bins_.size() == bins_.size() && o.lo_ == lo_ && o.hi_ == hi_,
+                  "QuantileSketch: merging incompatible sketches");
+  for (std::size_t i = 0; i < bins_.size(); ++i) bins_[i] += o.bins_[i];
+  count_ += o.count_;
+}
+
+void QuantileSketch::clear() {
+  std::fill(bins_.begin(), bins_.end(), u64{0});
+  count_ = 0;
+}
+
+// --- RetentionRing ----------------------------------------------------------
+
+RetentionRing::RetentionRing(std::size_t capacity) : capacity_(capacity) {
+  ANTAREX_REQUIRE(capacity > 0, "RetentionRing: need at least one cell");
+  for (Level& l : levels_) l.cells.resize(capacity_);
+}
+
+void RetentionRing::push(double value) {
+  ++pushes_;
+  push_level(0, RingCell{value, value, value});
+}
+
+void RetentionRing::push_level(std::size_t level, const RingCell& cell) {
+  Level& l = levels_[level];
+  l.cells[l.head] = cell;
+  l.head = (l.head + 1) % capacity_;
+  if (l.size < capacity_) ++l.size;
+  if (level + 1 >= kLevels) return;
+  // Fold into the coarser level: every kFold cells become one cell carrying
+  // the group's mean-of-means and min/max envelope.
+  l.fold.add(cell.mean);
+  if (l.folded == 0) {
+    l.pend_min = cell.min;
+    l.pend_max = cell.max;
+  } else {
+    l.pend_min = std::min(l.pend_min, cell.min);
+    l.pend_max = std::max(l.pend_max, cell.max);
+  }
+  if (++l.folded == kFold) {
+    const RingCell folded{l.fold.mean(), l.pend_min, l.pend_max};
+    l.fold.clear();
+    l.folded = 0;
+    push_level(level + 1, folded);
+  }
+}
+
+std::vector<RingCell> RetentionRing::history(std::size_t level) const {
+  ANTAREX_REQUIRE(level < kLevels, "RetentionRing: level out of range");
+  const Level& l = levels_[level];
+  std::vector<RingCell> out;
+  out.reserve(l.size);
+  // Oldest first: the ring wraps at head.
+  const std::size_t start = (l.head + capacity_ - l.size) % capacity_;
+  for (std::size_t i = 0; i < l.size; ++i)
+    out.push_back(l.cells[(start + i) % capacity_]);
+  return out;
+}
+
+void RetentionRing::clear() {
+  for (Level& l : levels_) {
+    std::fill(l.cells.begin(), l.cells.end(), RingCell{});
+    l.head = l.size = 0;
+    l.fold.clear();
+    l.folded = 0;
+    l.pend_min = l.pend_max = 0.0;
+  }
+  pushes_ = 0;
+}
+
+// --- ShardAggregator --------------------------------------------------------
+
+namespace {
+double metric_hi(const AggregatorConfig& cfg, Metric m) {
+  switch (m) {
+    case Metric::PowerW: return cfg.power_hi_w;
+    case Metric::TempC: return cfg.temp_hi_c;
+    case Metric::Utilization: return 1.0;
+    default: return cfg.progress_hi_ups;
+  }
+}
+}  // namespace
+
+ShardAggregator::ShardAggregator(std::size_t shards, AggregatorConfig cfg)
+    : shards_(shards), cfg_(cfg), hot_nodes_(cfg.top_k) {
+  ANTAREX_REQUIRE(shards > 0, "ShardAggregator: need at least one shard");
+  cells_.reserve(shards_ * kMetricCount);
+  for (std::size_t s = 0; s < shards_; ++s)
+    for (std::size_t m = 0; m < kMetricCount; ++m)
+      cells_.emplace_back(0.0, metric_hi(cfg_, static_cast<Metric>(m)),
+                          cfg_.sketch_bins);
+  rings_.resize(kMetricCount, RetentionRing(cfg_.ring_capacity));
+  step_.resize(kMetricCount);
+}
+
+void ShardAggregator::ingest(const MetricFrame& frame) {
+  ANTAREX_REQUIRE(frame.shard < shards_, "ShardAggregator: shard out of range");
+  ++frames_;
+  for (std::size_t m = 0; m < kMetricCount; ++m) {
+    const auto metric = static_cast<Metric>(m);
+    const double v = frame.value(metric);
+    Cell& c = cell(frame.shard, metric);
+    c.stat.add(v);
+    c.sketch.add(v);
+    step_[m].add(v);
+  }
+  // Degree-seconds over a soft thermal mark rank the "hot nodes" summary;
+  // the weight is monotone, which SpaceSaving needs.
+  constexpr double kHotMarkC = 70.0;
+  if (frame.temp_c > kHotMarkC)
+    hot_nodes_.offer(frame.node, static_cast<double>(frame.temp_c) - kHotMarkC);
+}
+
+void ShardAggregator::roll_step() {
+  for (std::size_t m = 0; m < kMetricCount; ++m) {
+    if (step_[m].count > 0)
+      rings_[m].push(step_[m].mean());
+    step_[m].clear();
+  }
+}
+
+const StreamStat& ShardAggregator::shard_stat(std::size_t shard,
+                                              Metric m) const {
+  ANTAREX_REQUIRE(shard < shards_, "ShardAggregator: shard out of range");
+  return cell(shard, m).stat;
+}
+
+const QuantileSketch& ShardAggregator::shard_sketch(std::size_t shard,
+                                                    Metric m) const {
+  ANTAREX_REQUIRE(shard < shards_, "ShardAggregator: shard out of range");
+  return cell(shard, m).sketch;
+}
+
+StreamStat ShardAggregator::cluster_stat(Metric m) const {
+  StreamStat out;
+  for (std::size_t s = 0; s < shards_; ++s) out.merge(cell(s, m).stat);
+  return out;
+}
+
+double ShardAggregator::cluster_quantile(Metric m, double q) const {
+  QuantileSketch merged(0.0, metric_hi(cfg_, m), cfg_.sketch_bins);
+  for (std::size_t s = 0; s < shards_; ++s) merged.merge(cell(s, m).sketch);
+  return merged.approx_quantile(q);
+}
+
+const RetentionRing& ShardAggregator::ring(Metric m) const {
+  return rings_[static_cast<std::size_t>(m)];
+}
+
+std::size_t ShardAggregator::approx_bytes() const {
+  std::size_t b = sizeof(*this) + hot_nodes_.approx_bytes();
+  for (const Cell& c : cells_) b += sizeof(Cell) + c.sketch.approx_bytes();
+  for (const RetentionRing& r : rings_) b += r.approx_bytes();
+  b += step_.size() * sizeof(StreamStat);
+  return b;
+}
+
+void ShardAggregator::clear() {
+  for (Cell& c : cells_) {
+    c.stat.clear();
+    c.sketch.clear();
+  }
+  for (RetentionRing& r : rings_) r.clear();
+  for (StreamStat& s : step_) s.clear();
+  hot_nodes_.clear();
+  frames_ = 0;
+}
+
+}  // namespace antarex::monitor

@@ -1,0 +1,73 @@
+#include "monitor/broker.hpp"
+
+#include <numeric>
+
+#include "support/strings.hpp"
+#include "telemetry/telemetry.hpp"
+
+namespace antarex::monitor {
+
+Broker::Broker(std::size_t shards, BrokerConfig cfg) : cfg_(cfg) {
+  ANTAREX_REQUIRE(shards > 0, "Broker: need at least one shard");
+  ANTAREX_REQUIRE(cfg_.queue_capacity > 0, "Broker: zero queue capacity");
+  queues_.resize(shards);
+  dropped_.assign(shards, 0);
+  for (auto& q : queues_) q.reserve(cfg_.queue_capacity);
+}
+
+int Broker::subscribe(const std::string& pattern, Handler fn) {
+  ANTAREX_REQUIRE(fn != nullptr, "Broker: null subscription handler");
+  subs_.push_back(Subscription{parse_topic_filter(pattern), std::move(fn)});
+  return static_cast<int>(subs_.size()) - 1;
+}
+
+void Broker::publish(const MetricFrame& frame) {
+  ANTAREX_REQUIRE(frame.shard < queues_.size(),
+                  "Broker: frame addressed to a missing shard");
+  ++published_;
+  std::vector<MetricFrame>& q = queues_[frame.shard];
+  if (q.size() >= cfg_.queue_capacity) {
+    ++dropped_[frame.shard];
+    // Saturation must be observable from outside the process too: mirror the
+    // per-shard count into a telemetry drop counter (the metrics-JSON
+    // exporter surfaces all of them under "drops").
+    telemetry::Registry::global()
+        .drop_counter(format("monitor.broker.dropped.cluster/%u",
+                             static_cast<unsigned>(frame.shard)))
+        .add(1);
+    return;
+  }
+  q.push_back(frame);
+}
+
+std::size_t Broker::drain() {
+  std::size_t n = 0;
+  for (std::vector<MetricFrame>& q : queues_) {
+    for (const MetricFrame& frame : q) {
+      for (const Subscription& sub : subs_)
+        if (sub.filter.matches(frame.shard, frame.node)) sub.fn(frame);
+      ++n;
+    }
+    q.clear();
+  }
+  delivered_ += n;
+  last_drain_ = n;
+  return n;
+}
+
+u64 Broker::dropped(std::size_t shard) const {
+  ANTAREX_REQUIRE(shard < dropped_.size(), "Broker: shard out of range");
+  return dropped_[shard];
+}
+
+u64 Broker::total_dropped() const {
+  return std::accumulate(dropped_.begin(), dropped_.end(), u64{0});
+}
+
+std::size_t Broker::approx_bytes() const {
+  return queues_.size() *
+             (cfg_.queue_capacity * sizeof(MetricFrame) + sizeof(queues_[0])) +
+         dropped_.size() * sizeof(u64) + subs_.size() * sizeof(Subscription);
+}
+
+}  // namespace antarex::monitor

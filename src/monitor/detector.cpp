@@ -1,0 +1,201 @@
+#include "monitor/detector.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "support/strings.hpp"
+#include "telemetry/telemetry.hpp"
+
+namespace antarex::monitor {
+
+const char* anomaly_kind_name(AnomalyKind k) {
+  switch (k) {
+    case AnomalyKind::ThermalRunaway: return "thermal_runaway";
+    case AnomalyKind::PowerSpike: return "power_spike";
+    case AnomalyKind::Throttle: return "throttle";
+    default: return "slow_node";
+  }
+}
+
+AnomalyDetector::AnomalyDetector(std::size_t shards, DetectorConfig cfg)
+    : shards_(shards), cfg_(cfg) {
+  ANTAREX_REQUIRE(shards > 0, "AnomalyDetector: need at least one shard");
+  ANTAREX_REQUIRE(cfg_.max_tracked > 0, "AnomalyDetector: max_tracked == 0");
+  baselines_.resize(shards_ * kMetricCount);
+}
+
+double AnomalyDetector::scale_for(const Baseline& b, Metric m) const {
+  double abs_floor = cfg_.abs_floor_progress;
+  switch (m) {
+    case Metric::PowerW: abs_floor = cfg_.abs_floor_power_w; break;
+    case Metric::TempC: abs_floor = cfg_.abs_floor_temp_c; break;
+    default: break;
+  }
+  return std::max({1.4826 * b.mad, cfg_.rel_floor * std::abs(b.m), abs_floor});
+}
+
+double AnomalyDetector::z_for(const Baseline& b, Metric m, double x) const {
+  if (b.n < cfg_.warmup_samples) return 0.0;
+  return (x - b.m) / scale_for(b, m);
+}
+
+void AnomalyDetector::update_baseline(Baseline& b, Metric m, double x) {
+  if (b.n == 0) {
+    b.m = x;
+    b.mad = 0.0;
+  } else {
+    // Winsorize: a wild sample may pull the level by at most
+    // alpha * clip_z * scale per step, not alpha * (x - m).
+    const double lim = cfg_.clip_z * scale_for(b, m);
+    const double v = std::clamp(x, b.m - lim, b.m + lim);
+    b.m += cfg_.ewma_alpha * (v - b.m);
+    b.mad += cfg_.mad_beta * (std::abs(v - b.m) - b.mad);
+  }
+  ++b.n;
+}
+
+void AnomalyDetector::observe(const MetricFrame& frame) {
+  ANTAREX_REQUIRE(frame.shard < shards_, "AnomalyDetector: shard out of range");
+  const bool busy = frame.util >= static_cast<float>(cfg_.min_util);
+
+  bool flags[kAnomalyKindCount] = {false, false, false, false};
+  double zs[kAnomalyKindCount] = {0.0, 0.0, 0.0, 0.0};
+  bool any = false;
+  if (busy) {
+    Baseline& bp = baseline(frame.shard, Metric::PowerW);
+    Baseline& bt = baseline(frame.shard, Metric::TempC);
+    Baseline& bg = baseline(frame.shard, Metric::ProgressUps);
+    const double zp = z_for(bp, Metric::PowerW, frame.power_w);
+    const double zt = z_for(bt, Metric::TempC, frame.temp_c);
+    const double zg = z_for(bg, Metric::ProgressUps, frame.progress_ups);
+
+    if (zt > cfg_.z_open) {
+      flags[static_cast<std::size_t>(AnomalyKind::ThermalRunaway)] = true;
+      zs[static_cast<std::size_t>(AnomalyKind::ThermalRunaway)] = zt;
+    }
+    if (zp > cfg_.z_open) {
+      flags[static_cast<std::size_t>(AnomalyKind::PowerSpike)] = true;
+      zs[static_cast<std::size_t>(AnomalyKind::PowerSpike)] = zp;
+    }
+    if (-zg > cfg_.z_open) {
+      // Progress fell off the shard baseline; the power signature says how.
+      const auto kind = zp < -cfg_.power_drop_z ? AnomalyKind::Throttle
+                                                : AnomalyKind::SlowNode;
+      flags[static_cast<std::size_t>(kind)] = true;
+      zs[static_cast<std::size_t>(kind)] = -zg;
+    }
+    any = flags[0] || flags[1] || flags[2] || flags[3];
+    if (any) ++flagged_samples_;
+
+    // Anomalous samples must not teach the baseline (a stuck throttle would
+    // become "normal" within 1/alpha samples otherwise).
+    if (!flags[static_cast<std::size_t>(AnomalyKind::PowerSpike)] &&
+        !flags[static_cast<std::size_t>(AnomalyKind::Throttle)])
+      update_baseline(bp, Metric::PowerW, frame.power_w);
+    if (!flags[static_cast<std::size_t>(AnomalyKind::ThermalRunaway)])
+      update_baseline(bt, Metric::TempC, frame.temp_c);
+    if (!flags[static_cast<std::size_t>(AnomalyKind::Throttle)] &&
+        !flags[static_cast<std::size_t>(AnomalyKind::SlowNode)])
+      update_baseline(bg, Metric::ProgressUps, frame.progress_ups);
+  }
+
+  auto it = tracked_.find(frame.node);
+  if (it == tracked_.end()) {
+    if (!any) return;  // healthy untracked node: nothing to do
+    if (tracked_.size() >= cfg_.max_tracked) {
+      ++tracked_overflow_;
+      TELEMETRY_COUNT("monitor.detector.tracked_overflow", 1);
+      return;
+    }
+    it = tracked_.emplace(frame.node, NodeTrack{}).first;
+  }
+
+  NodeTrack& track = it->second;
+  for (std::size_t k = 0; k < kAnomalyKindCount; ++k)
+    step_kind(track, static_cast<AnomalyKind>(k), flags[k], zs[k], frame);
+
+  // Drop the node's tracking state once it is fully healthy again.
+  bool live = false;
+  for (const KindState& ks : track.kinds)
+    if (ks.open || ks.run > 0) live = true;
+  if (!live) tracked_.erase(it);
+}
+
+void AnomalyDetector::step_kind(NodeTrack& track, AnomalyKind kind,
+                                bool flagged, double z,
+                                const MetricFrame& frame) {
+  KindState& ks = track.kinds[static_cast<std::size_t>(kind)];
+  if (flagged) {
+    ++ks.run;
+    ks.quiet = 0;
+    const u32 open_after = kind == AnomalyKind::PowerSpike
+                               ? cfg_.spike_open_after
+                               : cfg_.open_after;
+    if (!ks.open && ks.run >= open_after) open_episode(ks, kind, z, frame);
+    if (ks.open) {
+      ks.episode.peak_z = std::max(ks.episode.peak_z, z);
+      ++ks.episode.samples;
+      ks.episode.close_t_s = frame.t_s;
+    }
+    return;
+  }
+  ks.run = 0;
+  if (ks.open && ++ks.quiet >= cfg_.quiet_close) close_episode(ks, frame.t_s);
+}
+
+void AnomalyDetector::open_episode(KindState& ks, AnomalyKind kind, double z,
+                                   const MetricFrame& frame) {
+  ks.open = true;
+  ks.episode = Episode{frame.node, frame.shard,  kind, frame.t_s,
+                       frame.t_s,  z,            0,    true};
+  ++active_;
+  // Dynamic metric name (one per kind): cold path, so the uncached registry
+  // lookup is fine — the cached TELEMETRY_COUNT macro needs a constant name.
+  telemetry::Registry::global()
+      .counter(format("monitor.anomaly.open.%s", anomaly_kind_name(kind)))
+      .add(1);
+  TELEMETRY_GAUGE("monitor.anomaly_active", static_cast<double>(active_));
+  if (hook_) hook_(ks.episode, true);
+}
+
+void AnomalyDetector::close_episode(KindState& ks, double t_s) {
+  ks.open = false;
+  ks.quiet = 0;
+  ks.episode.open = false;
+  (void)t_s;  // close time is the last flagged sample, already recorded
+  --active_;
+  TELEMETRY_GAUGE("monitor.anomaly_active", static_cast<double>(active_));
+  if (hook_) hook_(ks.episode, false);
+  if (closed_.size() >= cfg_.max_closed) {
+    ++closed_overflow_;
+    TELEMETRY_COUNT("monitor.detector.closed_overflow", 1);
+    return;
+  }
+  closed_.push_back(ks.episode);
+}
+
+std::vector<Episode> AnomalyDetector::episodes() const {
+  std::vector<Episode> out = closed_;
+  for (const auto& [node, track] : tracked_)
+    for (const KindState& ks : track.kinds)
+      if (ks.open) out.push_back(ks.episode);
+  return out;
+}
+
+std::size_t AnomalyDetector::approx_bytes() const {
+  return sizeof(*this) + baselines_.size() * sizeof(Baseline) +
+         tracked_.size() * (sizeof(NodeTrack) + sizeof(u32) + 48) +
+         closed_.capacity() * sizeof(Episode);
+}
+
+void AnomalyDetector::clear() {
+  std::fill(baselines_.begin(), baselines_.end(), Baseline{});
+  tracked_.clear();
+  closed_.clear();
+  active_ = 0;
+  flagged_samples_ = 0;
+  tracked_overflow_ = 0;
+  closed_overflow_ = 0;
+}
+
+}  // namespace antarex::monitor

@@ -1,0 +1,147 @@
+// antarex::monitor — online anomaly detection over the metric stream.
+//
+// Per-(shard, metric) robust baselines: an EWMA of the level and an
+// exponentially-weighted MAD of the deviation. A sample's z-score is
+//
+//   z = (x - ewma) / max(1.4826 * mad, rel_floor * |ewma|, abs_floor)
+//
+// (1.4826 scales MAD to a standard deviation under normality; the floors
+// keep z finite on quiet streams). Baselines learn only from unflagged busy
+// samples, so an anomaly cannot teach the detector that it is normal. Taught
+// samples are additionally winsorized to m +- clip_z scale units: during the
+// warmup window z-flags cannot veto yet, and one wild sample (a RAPL counter
+// wrap, say) must not be allowed to poison the level and MAD for the tens of
+// samples an EWMA needs to forget it.
+//
+// Four anomaly kinds map onto the fault model:
+//   ThermalRunaway  temperature z above threshold
+//   PowerSpike      power z above threshold (RAPL sensor glitches show up
+//                   here: the sampler reads counter deltas, so a glitch
+//                   offset lands in exactly one sample)
+//   Throttle        progress drop with a matching power drop (a device
+//                   pinned to its lowest P-state does less and draws less)
+//   SlowNode        progress drop at normal power (same work rate per busy
+//                   second, just slower — e.g. a degraded node)
+//
+// Hysteresis turns per-sample flags into episodes: open after `open_after`
+// consecutive flagged samples (1 for PowerSpike — glitches are one sample),
+// close after `quiet_close` consecutive quiet ones. Idle nodes (util below
+// min_util) are never judged; their samples count as quiet.
+//
+// Memory: baselines are O(shards * metrics); per-node state exists only for
+// currently-flagged nodes, capped at max_tracked (overflow counted). Closed
+// episodes are retained up to max_closed for ground-truth evaluation.
+#pragma once
+
+#include <functional>
+#include <map>
+#include <vector>
+
+#include "monitor/topic.hpp"
+#include "support/common.hpp"
+
+namespace antarex::monitor {
+
+enum class AnomalyKind : u8 { ThermalRunaway, PowerSpike, Throttle, SlowNode };
+constexpr std::size_t kAnomalyKindCount = 4;
+const char* anomaly_kind_name(AnomalyKind k);
+
+struct DetectorConfig {
+  double z_open = 4.0;        ///< |z| that flags a sample
+  double power_drop_z = 2.0;  ///< power z below -this => Throttle, else Slow
+  u32 open_after = 2;         ///< consecutive flags to open an episode
+  u32 spike_open_after = 1;   ///< PowerSpike opens immediately (one-sample)
+  u32 quiet_close = 3;        ///< consecutive quiet samples to close
+  u64 warmup_samples = 8;     ///< baseline samples before judging a stream
+  double min_util = 0.5;      ///< only judge nodes at least this busy
+  double ewma_alpha = 0.05;
+  double mad_beta = 0.05;
+  double rel_floor = 0.04;    ///< scale floor as a fraction of the level
+  double clip_z = 8.0;        ///< winsorize taught samples at this many scales
+  double abs_floor_power_w = 2.0;
+  double abs_floor_temp_c = 1.5;
+  double abs_floor_progress = 0.02;
+  std::size_t max_tracked = 1024;  ///< concurrently tracked flagged nodes
+  std::size_t max_closed = 65536;  ///< retained closed episodes
+};
+
+/// One contiguous anomaly on one node.
+struct Episode {
+  u32 node = 0;
+  u16 shard = 0;
+  AnomalyKind kind = AnomalyKind::ThermalRunaway;
+  double open_t_s = 0.0;
+  double close_t_s = 0.0;  ///< == open_t_s while still open
+  double peak_z = 0.0;
+  u32 samples = 0;  ///< flagged samples inside the episode
+  bool open = false;
+};
+
+class AnomalyDetector {
+ public:
+  /// Called on every episode transition: opened=true right after the episode
+  /// opens, opened=false right after it closes. Runs on the sim thread.
+  using Hook = std::function<void(const Episode&, bool opened)>;
+
+  AnomalyDetector(std::size_t shards, DetectorConfig cfg = {});
+
+  const DetectorConfig& config() const { return cfg_; }
+  void set_hook(Hook hook) { hook_ = std::move(hook); }
+
+  /// Ingest one frame (subscribe to the broker's `#`).
+  void observe(const MetricFrame& frame);
+
+  /// Episodes closed so far, in close order.
+  const std::vector<Episode>& closed() const { return closed_; }
+  /// Closed + still-open episodes (open ones last, node order).
+  std::vector<Episode> episodes() const;
+  std::size_t active() const { return active_; }
+  u64 flagged_samples() const { return flagged_samples_; }
+  u64 tracked_overflow() const { return tracked_overflow_; }
+  u64 closed_overflow() const { return closed_overflow_; }
+
+  std::size_t approx_bytes() const;
+  void clear();
+
+ private:
+  struct Baseline {
+    double m = 0.0;
+    double mad = 0.0;
+    u64 n = 0;
+  };
+  struct KindState {
+    u32 run = 0;    ///< consecutive flagged samples
+    u32 quiet = 0;  ///< consecutive quiet samples while open
+    bool open = false;
+    Episode episode;
+  };
+  struct NodeTrack {
+    KindState kinds[kAnomalyKindCount];
+  };
+
+  Baseline& baseline(u16 shard, Metric m) {
+    return baselines_[static_cast<std::size_t>(shard) * kMetricCount +
+                      static_cast<std::size_t>(m)];
+  }
+  double scale_for(const Baseline& b, Metric m) const;
+  double z_for(const Baseline& b, Metric m, double x) const;
+  void update_baseline(Baseline& b, Metric m, double x);
+  void step_kind(NodeTrack& track, AnomalyKind kind, bool flagged, double z,
+                 const MetricFrame& frame);
+  void open_episode(KindState& ks, AnomalyKind kind, double z,
+                    const MetricFrame& frame);
+  void close_episode(KindState& ks, double t_s);
+
+  std::size_t shards_;
+  DetectorConfig cfg_;
+  Hook hook_;
+  std::vector<Baseline> baselines_;  ///< shards * metrics
+  std::map<u32, NodeTrack> tracked_;
+  std::vector<Episode> closed_;
+  std::size_t active_ = 0;
+  u64 flagged_samples_ = 0;
+  u64 tracked_overflow_ = 0;
+  u64 closed_overflow_ = 0;
+};
+
+}  // namespace antarex::monitor

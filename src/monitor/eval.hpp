@@ -1,0 +1,96 @@
+// antarex::monitor — detector evaluation against fault ground truth.
+//
+// antarex::fault knows exactly which node was throttled, slowed, or glitched
+// and when, so the anomaly detector can be scored like a classifier instead
+// of eyeballed. The pipeline:
+//
+//   FaultSchedule ──▶ ground_truth()  (paired events -> labeled intervals)
+//   AnomalyDetector::episodes() ──▶ evaluate()  (interval matching)
+//
+// Recall counts only *qualifying* ground-truth episodes: ones starting after
+// the detector's warmup window with at least min_samples sampling instants
+// inside the run — an episode the detector never got a judged sample of is
+// not a miss, it is unobservable. Precision counts a detection as a true
+// positive when it overlaps (with match_slack_s of grace on both sides) a
+// same-kind episode on the same node; where a throttle and a slowdown
+// overlap on one node the power signature is genuinely ambiguous, so either
+// kind matches there.
+#pragma once
+
+#include <vector>
+
+#include "fault/schedule.hpp"
+#include "monitor/detector.hpp"
+
+namespace antarex::monitor {
+
+struct GroundTruthEpisode {
+  u32 node = 0;
+  AnomalyKind kind = AnomalyKind::Throttle;
+  double start_s = 0.0;
+  double end_s = 0.0;
+  bool qualifies = false;  ///< counts toward the recall denominator
+};
+
+struct EvalConfig {
+  double sample_period_s = 1.0;  ///< the fabric's sampling cadence
+  double warmup_end_s = 12.0;    ///< GT starting earlier never qualifies
+  double horizon_s = 0.0;        ///< run end (required by ground_truth)
+  u32 min_samples = 3;           ///< sampling instants inside a qualifying GT
+  double match_slack_s = 3.0;    ///< overlap grace (hysteresis + cadence lag)
+};
+
+struct KindScore {
+  u64 gt_total = 0;       ///< ground-truth episodes of this kind
+  u64 gt_qualifying = 0;  ///< ... that qualify for recall
+  u64 gt_matched = 0;     ///< qualifying GT with >= 1 matching detection
+  u64 detected = 0;       ///< detector episodes of this kind
+  u64 true_positives = 0; ///< ... matching some GT (ambiguity-aware)
+
+  /// 1.0 when nothing was detected (no claims, none wrong).
+  double precision() const {
+    return detected ? static_cast<double>(true_positives) /
+                          static_cast<double>(detected)
+                    : 1.0;
+  }
+  /// 1.0 when nothing qualified (nothing observable to find).
+  double recall() const {
+    return gt_qualifying ? static_cast<double>(gt_matched) /
+                               static_cast<double>(gt_qualifying)
+                         : 1.0;
+  }
+};
+
+struct EvalResult {
+  KindScore kinds[kAnomalyKindCount];
+  const KindScore& of(AnomalyKind k) const {
+    return kinds[static_cast<std::size_t>(k)];
+  }
+};
+
+/// Fold a schedule's paired events into labeled intervals:
+/// ThermalThrottle (+duration_s) -> Throttle, SlowNode/SlowNodeEnd ->
+/// SlowNode, SensorGlitch/GlitchClear -> PowerSpike (the glitch offset shows
+/// up as a one-sample spike at both edges). Crash/repair produce no episode —
+/// a dead node stops publishing rather than looking anomalous. Unended
+/// episodes run to the horizon.
+std::vector<GroundTruthEpisode> ground_truth(const fault::FaultSchedule& sched,
+                                             const EvalConfig& cfg);
+
+/// Score detector episodes against the ground truth.
+EvalResult evaluate(const std::vector<GroundTruthEpisode>& truth,
+                    const std::vector<Episode>& detections,
+                    const EvalConfig& cfg);
+
+/// Drop fault episodes that begin before `quiet_s` (paired end events of
+/// dropped openers go with them; throttles carry their own duration). The
+/// detector's quality bounds are steady-state properties: baselines must
+/// warm on healthy traffic before z-flags can veto contaminated samples,
+/// and a throttle that spans the cold-start window is indistinguishable
+/// from normal load to a fresh baseline. Scenario builders (the property
+/// suite, bench_monitor) use this to keep bootstrap out of the scored
+/// window, matching the eval's refusal to judge detections there.
+fault::FaultSchedule strip_warmup_faults(fault::FaultSchedule sched,
+                                         double quiet_s);
+
+}  // namespace antarex::monitor

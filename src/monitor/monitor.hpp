@@ -1,0 +1,17 @@
+// antarex::monitor — Examon-style cluster monitoring fabric.
+//
+// The site-wide monitoring plane between the simulated plant (rtrm) and the
+// layers that act on it (obs policies, govern power caps): per-node sampling
+// onto an MQTT-like topic hierarchy, a topic-sharded in-process broker,
+// bounded-memory streaming aggregation with RRD-style retention, and online
+// anomaly detection scored against antarex::fault ground truth. See
+// DESIGN.md "Cluster monitoring" and the fabric.hpp header for the wiring.
+#pragma once
+
+#include "monitor/aggregate.hpp"
+#include "monitor/broker.hpp"
+#include "monitor/detector.hpp"
+#include "monitor/eval.hpp"
+#include "monitor/fabric.hpp"
+#include "monitor/topic.hpp"
+#include "monitor/topk.hpp"

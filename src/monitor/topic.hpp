@@ -1,0 +1,83 @@
+// antarex::monitor — Examon-style topic hierarchy.
+//
+// Every sample the fabric moves is addressed by an MQTT-like topic
+//
+//   cluster/<shard>/node/<id>/<metric>
+//
+// exactly the scheme ANTAREX's Examon uses to ship per-node sensor streams
+// over MQTT brokers. Subscriptions use the MQTT wildcards: `+` matches one
+// level, `#` matches the rest of the topic. The hot path never materializes
+// topic strings — frames carry (shard, node) ids and a filter is precompiled
+// into integer comparisons — but the string grammar is the public contract
+// (health reports, drop counters, and tests all speak it).
+#pragma once
+
+#include <string>
+
+#include "support/common.hpp"
+
+namespace antarex::monitor {
+
+/// The per-node signals a Sampler publishes. One MetricFrame carries all of
+/// them; the metric level of a topic selects which one a subscriber reads.
+enum class Metric : u8 {
+  PowerW,       ///< sensor-read node power (RAPL counter deltas)
+  TempC,        ///< hottest device temperature
+  Utilization,  ///< busy devices / device count
+  ProgressUps,  ///< observed work progress rate (units/s)
+};
+
+constexpr std::size_t kMetricCount = 4;
+
+const char* metric_name(Metric m);  ///< "power_w", "temp_c", ...
+
+/// One compact sample from one node at one sampling instant. 32 bytes; this
+/// is the fabric's unit of traffic and the published bytes/node figure.
+struct MetricFrame {
+  double t_s = 0.0;       ///< virtual sampling time
+  u32 node = 0;
+  u16 shard = 0;
+  u16 busy_devices = 0;
+  float power_w = 0.0f;
+  float temp_c = 0.0f;
+  float util = 0.0f;
+  float progress_ups = 0.0f;
+
+  float value(Metric m) const {
+    switch (m) {
+      case Metric::PowerW: return power_w;
+      case Metric::TempC: return temp_c;
+      case Metric::Utilization: return util;
+      default: return progress_ups;
+    }
+  }
+};
+
+/// Canonical topic string for one (shard, node, metric) stream.
+std::string topic_for(u16 shard, u32 node, Metric m);
+
+/// Precompiled subscription filter over the topic hierarchy. kAny matches
+/// every value at that level (the `+` / `#` wildcards).
+struct TopicFilter {
+  static constexpr u32 kAny = 0xffffffffu;
+  u32 shard = kAny;
+  u32 node = kAny;
+  u32 metric = kAny;  ///< index into Metric, or kAny
+
+  bool matches(u16 frame_shard, u32 frame_node) const {
+    return (shard == kAny || shard == frame_shard) &&
+           (node == kAny || node == frame_node);
+  }
+};
+
+/// Parse an MQTT-style pattern ("cluster/+/node/+/power_w", "cluster/3/#",
+/// "#") into a filter. Throws antarex::Error on patterns outside the
+/// cluster/<shard>/node/<id>/<metric> grammar.
+TopicFilter parse_topic_filter(const std::string& pattern);
+
+/// Pure string-level MQTT matcher (`+` one level, `#` rest); the reference
+/// semantics parse_topic_filter compiles down from. Exposed for tests and
+/// for tools that carry topics as strings.
+bool topic_matches(const std::string& pattern, const std::string& topic);
+
+}  // namespace antarex::monitor

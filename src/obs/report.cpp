@@ -282,6 +282,116 @@ void emit_metrics(std::string& html, const JsonValue& metrics) {
   }
 }
 
+/// Fixed palette per anomaly kind (hash hues would collide or drift).
+const char* kind_color(const std::string& kind) {
+  if (kind == "thermal_runaway") return "#e05252";
+  if (kind == "power_spike") return "#e8a33d";
+  if (kind == "throttle") return "#4f9dd6";
+  return "#8f6fc9";  // slow_node
+}
+
+void emit_cluster_health(std::string& html, const JsonValue& health) {
+  html += format(
+      "<p class=meta>%.0f shards, %.0f sampling sweeps, %.0f frames "
+      "aggregated (%.0f published, %.0f dropped), fabric core %.1f KiB</p>\n",
+      health.number_or("shards", 0.0), health.number_or("samples", 0.0),
+      health.number_or("frames", 0.0), health.number_or("published", 0.0),
+      health.number_or("dropped", 0.0),
+      health.number_or("fabric_bytes", 0.0) / 1024.0);
+
+  // Shard heatmap: one row per metric, one cell per shard, shaded by where
+  // the shard's mean sits between the row's min and max.
+  const JsonValue* shard_mean = health.get("shard_mean");
+  if (shard_mean && shard_mean->is_object() &&
+      !shard_mean->members().empty()) {
+    html += "<h3>Shard heatmap</h3>\n<table class=heat><tr><th>metric</th>";
+    std::size_t n_shards = 0;
+    for (const auto& [metric, row] : shard_mean->members())
+      if (row.is_array()) n_shards = std::max(n_shards, row.as_array().size());
+    for (std::size_t s = 0; s < n_shards; ++s)
+      html += format("<th class=r>s%zu</th>", s);
+    html += "</tr>\n";
+    for (const auto& [metric, row] : shard_mean->members()) {
+      if (!row.is_array()) continue;
+      double lo = 0.0, hi = 0.0;
+      bool first = true;
+      for (const JsonValue& v : row.as_array()) {
+        if (!v.is_number()) continue;
+        lo = first ? v.as_number() : std::min(lo, v.as_number());
+        hi = first ? v.as_number() : std::max(hi, v.as_number());
+        first = false;
+      }
+      html += "<tr><td>" + html_escape(metric) + "</td>";
+      for (const JsonValue& v : row.as_array()) {
+        const double x = v.is_number() ? v.as_number() : 0.0;
+        const double t = hi > lo ? (x - lo) / (hi - lo) : 0.0;
+        html += format(
+            "<td class=r style=\"background:hsl(210,60%%,%.0f%%)\">%.4g</td>",
+            93.0 - 38.0 * t, x);
+      }
+      html += "</tr>\n";
+    }
+    html += "</table>\n";
+  }
+
+  // Anomaly timeline: one lane per episode over the sampled window, colored
+  // by kind, followed by the episode table.
+  html += "<h3>Anomaly timeline</h3>\n";
+  const JsonValue* episodes = health.get("episodes");
+  if (!episodes || !episodes->is_array() || episodes->as_array().empty()) {
+    html += "<p class=note>no anomaly episodes</p>\n";
+    return;
+  }
+  const auto& eps = episodes->as_array();
+  double t1 = 1e-9;
+  for (const JsonValue& e : eps) t1 = std::max(t1, e.number_or("close_s", 0.0));
+  constexpr std::size_t kMaxLanes = 400;
+  const std::size_t lanes = std::min(eps.size(), kMaxLanes);
+  html += format("<div class=flame style=\"height:%zupx\">\n", lanes * 16 + 2);
+  for (std::size_t i = 0; i < lanes; ++i) {
+    const JsonValue& e = eps[i];
+    const std::string kind = e.get("kind") && e.get("kind")->is_string()
+                                 ? e.get("kind")->as_string()
+                                 : "(unknown)";
+    const double open_s = e.number_or("open_s", 0.0);
+    const double close_s = std::max(e.number_or("close_s", 0.0), open_s);
+    html += format(
+        "<div class=\"sp ep\" style=\"left:%.3f%%;width:%.3f%%;top:%zupx;"
+        "background:%s\" title=\"node %.0f %s [%.1f s, %.1f s] peak z "
+        "%.2f\">n%.0f %s</div>\n",
+        100.0 * open_s / t1,
+        std::max(100.0 * (close_s - open_s) / t1, 0.3), i * 16,
+        kind_color(kind), e.number_or("node", 0.0), html_escape(kind).c_str(),
+        open_s, close_s, e.number_or("peak_z", 0.0), e.number_or("node", 0.0),
+        html_escape(kind).c_str());
+  }
+  html += "</div>\n";
+  if (eps.size() > kMaxLanes)
+    html += format("<p class=note>timeline truncated to the first %zu of %zu "
+                   "episodes</p>\n",
+                   kMaxLanes, eps.size());
+  html += "<table><tr><th>node</th><th>shard</th><th>kind</th>"
+          "<th>open s</th><th>close s</th><th>peak z</th><th>samples</th>"
+          "<th>state</th></tr>\n";
+  for (const JsonValue& e : eps) {
+    const std::string kind = e.get("kind") && e.get("kind")->is_string()
+                                 ? e.get("kind")->as_string()
+                                 : "(unknown)";
+    const JsonValue* open = e.get("open");
+    html += format(
+        "<tr><td class=r>%.0f</td><td class=r>%.0f</td>"
+        "<td><span class=chip style=\"background:%s\"></span>%s</td>"
+        "<td class=r>%.1f</td><td class=r>%.1f</td><td class=r>%.2f</td>"
+        "<td class=r>%.0f</td><td>%s</td></tr>\n",
+        e.number_or("node", 0.0), e.number_or("shard", 0.0), kind_color(kind),
+        html_escape(kind).c_str(), e.number_or("open_s", 0.0),
+        e.number_or("close_s", 0.0), e.number_or("peak_z", 0.0),
+        e.number_or("samples", 0.0),
+        open && open->is_bool() && open->as_bool() ? "open" : "closed");
+  }
+  html += "</table>\n";
+}
+
 constexpr const char* kStyle = R"css(
 body{font:14px/1.45 system-ui,sans-serif;margin:24px auto;max-width:1100px;
      color:#222;background:#fafafa}
@@ -303,6 +413,8 @@ td.r{text-align:right;font-variant-numeric:tabular-nums}
 .barrow td{border:none;padding:0 10px 4px}
 .note{color:#777;font-style:italic}
 .meta{color:#555}
+.heat td{padding:3px 8px}
+.ep{height:14px;font-size:10px;line-height:14px;color:#fff}
 )css";
 
 }  // namespace
@@ -332,6 +444,11 @@ std::string html_report(const ReportInputs& inputs) {
   if (!inputs.attribution_json.empty()) {
     html += "<h2>Energy attribution</h2>\n";
     emit_attribution(html, parse_json(inputs.attribution_json));
+  }
+
+  if (!inputs.health_json.empty()) {
+    html += "<h2>Cluster health</h2>\n";
+    emit_cluster_health(html, parse_json(inputs.health_json));
   }
 
   html += "<h2>Timeline</h2>\n";

@@ -1,7 +1,9 @@
 // Self-contained HTML report from a run's exported artifacts: the flame
 // timeline + per-span summary of a Chrome trace, the metrics registry dump,
-// and the energy-attribution tables. Everything is inlined (one <style>, no
-// scripts, no external fetches), so the file opens anywhere.
+// the energy-attribution tables, and the cluster-health section (per-shard
+// heatmap + anomaly timeline) from a monitor health dump. Everything is
+// inlined (one <style>, no scripts, no external fetches), so the file opens
+// anywhere.
 #pragma once
 
 #include <string>
@@ -13,6 +15,7 @@ struct ReportInputs {
   std::string trace_json;        ///< Chrome trace (required)
   std::string metrics_json;      ///< telemetry::metrics_json() (optional)
   std::string attribution_json;  ///< EnergyAccountant::json() (optional)
+  std::string health_json;       ///< MonitorFabric::health_json() (optional)
 };
 
 /// Render the report; throws antarex::Error when trace_json (or a provided

@@ -76,6 +76,15 @@ class Device {
   /// Instantaneous electrical power right now.
   double power_w(double ambient_c_unused = 0.0) const;
 
+  /// Observable work progress rate (units/s) at the effective operating
+  /// point — what a job-level heartbeat sensor reports. Reflects forced
+  /// throttles (via op()) and injected slowdowns alike; 0 while idle. This
+  /// is the signal antarex::monitor's slow-node detection keys on.
+  double progress_rate_ups() const {
+    if (!busy()) return 0.0;
+    return 1.0 / (workload_.execution_time_s(op()) * slowdown_);
+  }
+
   double temperature_c() const { return thermal_.temperature_c(); }
   const power::RaplDomain& rapl() const { return rapl_; }
   /// Mutable counter access for sensor-glitch injection (antarex::fault).

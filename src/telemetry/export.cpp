@@ -113,13 +113,25 @@ std::string metrics_json(const Registry& registry) {
                ",\"ewma\":" + num(has ? s->ewma() : 0.0) + "}");
   }
 
+  // v3: a consolidated "drops" section — every bounded buffer that discarded
+  // data (trace ring, broker shard queues, detector caps) in one place, so
+  // silent saturation is diagnosable from any bench report.
   const TraceBuffer& buf = registry.trace();
-  return "{\"schema\":\"antarex.telemetry.metrics/v2\",\"counters\":{" +
+  Joiner drops;
+  u64 drops_total = buf.dropped();
+  drops.add("\"trace_buffer\":" + num(buf.dropped()));
+  for (const auto& [name, c] : registry.drop_counters()) {
+    drops.add("\"" + json_escape(name) + "\":" + num(c->value()));
+    drops_total += c->value();
+  }
+
+  return "{\"schema\":\"antarex.telemetry.metrics/v3\",\"counters\":{" +
          counters.str() + "},\"gauges\":{" + gauges.str() +
          "},\"histograms\":{" + histograms.str() + "},\"series\":{" +
-         series.str() + "},\"trace\":{\"events\":" +
-         num(static_cast<u64>(buf.size())) + ",\"dropped\":" +
-         num(buf.dropped()) + "}}";
+         series.str() + "},\"drops\":{" + drops.str() +
+         "},\"drops_total\":" + num(drops_total) +
+         ",\"trace\":{\"events\":" + num(static_cast<u64>(buf.size())) +
+         ",\"dropped\":" + num(buf.dropped()) + "}}";
 }
 
 Table summary_table(const Registry& registry) {

@@ -17,12 +17,17 @@ namespace antarex::telemetry {
 /// "otherData".
 std::string chrome_trace_json(const Registry& registry = Registry::global());
 
-/// Flat metrics dump, schema "antarex.telemetry.metrics/v2":
+/// Flat metrics dump, schema "antarex.telemetry.metrics/v3":
 ///   { "schema": ..., "counters": {name: int},
 ///     "gauges": {name: {last,min,max,updates}},
 ///     "histograms": {name: {lo,hi,count,sum,mean,p50,p95,p99,buckets:[...]}},
 ///     "series": {name: {count,last,mean,p50,p95,p99,ewma}},
+///     "drops": {"trace_buffer": int, <drop counter name>: int, ...},
+///     "drops_total": int,
 ///     "trace": {events,dropped} }
+/// v3 adds the "drops" section: the trace ring's drop count plus every
+/// counter registered through Registry::drop_counter(), so any bounded
+/// buffer that silently discarded data shows up in one place.
 /// Histogram quantiles are approx_quantile() estimates (interpolated);
 /// series quantiles are exact over the rolling window. Keys are emitted in
 /// sorted order, so the layout is deterministic.

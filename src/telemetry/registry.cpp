@@ -158,6 +158,14 @@ Counter& Registry::counter(const std::string& name) {
   return *slot;
 }
 
+Counter& Registry::drop_counter(const std::string& name) {
+  std::lock_guard<std::mutex> lock(mu_);
+  drop_names_.insert(name);
+  auto& slot = counters_[name];
+  if (!slot) slot = std::make_unique<Counter>();
+  return *slot;
+}
+
 Gauge& Registry::gauge(const std::string& name) {
   std::lock_guard<std::mutex> lock(mu_);
   auto& slot = gauges_[name];
@@ -209,6 +217,18 @@ std::vector<std::pair<std::string, const Histogram*>> Registry::histograms() con
 std::vector<std::pair<std::string, const Series*>> Registry::all_series() const {
   std::lock_guard<std::mutex> lock(mu_);
   return snapshot<decltype(series_), const Series*>(series_);
+}
+
+std::vector<std::pair<std::string, const Counter*>> Registry::drop_counters()
+    const {
+  std::lock_guard<std::mutex> lock(mu_);
+  std::vector<std::pair<std::string, const Counter*>> out;
+  out.reserve(drop_names_.size());
+  for (const std::string& name : drop_names_) {
+    const auto it = counters_.find(name);
+    if (it != counters_.end()) out.emplace_back(name, it->second.get());
+  }
+  return out;
 }
 
 void Registry::reset() {

@@ -22,6 +22,7 @@
 #include <map>
 #include <memory>
 #include <mutex>
+#include <set>
 #include <string>
 #include <vector>
 
@@ -171,6 +172,11 @@ class Registry {
   // for the life of the registry (node-based storage).
   Counter& counter(const std::string& name);
   Gauge& gauge(const std::string& name);
+  /// A counter that additionally registers `name` as a *drop* counter: a
+  /// count of data discarded at a bounded buffer (trace ring, broker shard
+  /// queue, ...). The metrics-JSON exporter collects every drop counter into
+  /// a dedicated "drops" section so saturation is never silent.
+  Counter& drop_counter(const std::string& name);
   /// lo/hi/bins apply on first creation only.
   Histogram& histogram(const std::string& name, double lo, double hi,
                        std::size_t bins);
@@ -185,6 +191,8 @@ class Registry {
   std::vector<std::pair<std::string, const Gauge*>> gauges() const;
   std::vector<std::pair<std::string, const Histogram*>> histograms() const;
   std::vector<std::pair<std::string, const Series*>> all_series() const;
+  /// Drop counters only (a subset of counters()), for the "drops" section.
+  std::vector<std::pair<std::string, const Counter*>> drop_counters() const;
 
   /// Zero every metric and clear the trace buffer (test isolation). Metric
   /// objects stay alive — cached references remain valid.
@@ -193,6 +201,7 @@ class Registry {
  private:
   mutable std::mutex mu_;
   std::map<std::string, std::unique_ptr<Counter>> counters_;
+  std::set<std::string> drop_names_;  ///< counters_ keys that count drops
   std::map<std::string, std::unique_ptr<Gauge>> gauges_;
   std::map<std::string, std::unique_ptr<Histogram>> histograms_;
   std::map<std::string, std::unique_ptr<Series>> series_;

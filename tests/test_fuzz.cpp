@@ -308,6 +308,23 @@ INSTANTIATE_TEST_SUITE_P(FastSeeds, CapGovernanceProps,
 }  // namespace antarex::govern
 
 // ---------------------------------------------------------------------------
+// Cluster-monitoring property sweep (fast slice).
+//
+// The monitoring invariant suite the nightly tier sweeps over 1000 seeds
+// (test_monitor_long.cpp) runs here over 48 seeds so every default test run
+// exercises randomized monitored clusters end to end: frame accounting,
+// >= 0.8 precision/recall on injected throttles and slow nodes, determinism
+// across 1/2/8-worker pools, and capacity-shaped fabric memory.
+// ---------------------------------------------------------------------------
+#include "monitor_props.hpp"
+
+namespace antarex::monitor {
+
+INSTANTIATE_TEST_SUITE_P(FastSeeds, MonitorProps, ::testing::Range<u64>(1, 49));
+
+}  // namespace antarex::monitor
+
+// ---------------------------------------------------------------------------
 // Design-space search property sweep (fast slice).
 //
 // The model-seeded evolutionary search invariant suite the nightly tier

@@ -1,0 +1,12 @@
+// Nightly 1000-seed sweep of the antarex::monitor property suite (frame
+// accounting, >= 0.8 precision/recall on the progress-drop anomaly kinds,
+// determinism across pool sizes, capacity-shaped memory). Runs behind the
+// `long` ctest label; test_fuzz.cpp carries the CI-fast 48-seed slice.
+#include "monitor_props.hpp"
+
+namespace antarex::monitor {
+
+INSTANTIATE_TEST_SUITE_P(ThousandSeeds, MonitorProps,
+                         ::testing::Range<u64>(1, 1001));
+
+}  // namespace antarex::monitor

@@ -3,7 +3,12 @@
 // stable metrics schema), and an instrumented end-to-end cluster run.
 #include <gtest/gtest.h>
 
+#include <atomic>
 #include <cctype>
+#include <cmath>
+#include <cstdlib>
+#include <fstream>
+#include <sstream>
 #include <string>
 #include <thread>
 #include <vector>
@@ -337,7 +342,7 @@ TEST_F(TelemetryTest, MetricsJsonSchemaIsStable) {
 
   const std::string json = telemetry::metrics_json();
   EXPECT_TRUE(json_valid(json));
-  EXPECT_NE(json.find("\"schema\":\"antarex.telemetry.metrics/v2\""),
+  EXPECT_NE(json.find("\"schema\":\"antarex.telemetry.metrics/v3\""),
             std::string::npos);
   // Names registered by earlier tests persist (zeroed), so assert on the
   // entry rather than the whole object.
@@ -356,6 +361,68 @@ TEST_F(TelemetryTest, MetricsJsonSchemaIsStable) {
             std::string::npos);
   EXPECT_NE(json.find("\"trace\":{\"events\":0,\"dropped\":0}"),
             std::string::npos);
+  // v3: the drops section always carries the trace ring's count.
+  EXPECT_NE(json.find("\"drops\":{\"trace_buffer\":0"), std::string::npos);
+}
+
+TEST_F(TelemetryTest, DropCountersSurfaceInTheDropsSection) {
+  auto& reg = Registry::global();
+  reg.drop_counter("t.queue.dropped").add(3);
+  reg.drop_counter("monitor.broker.dropped.cluster/7").add(2);
+  reg.trace().set_capacity(1);
+  {
+    TELEMETRY_SPAN("t.dropped_span");  // B fits, E drops
+  }
+
+  const std::string json = telemetry::metrics_json();
+  EXPECT_TRUE(json_valid(json));
+  // Drop counters are ordinary counters too...
+  EXPECT_NE(json.find("\"t.queue.dropped\":3"), std::string::npos);
+  // ...and additionally collected under "drops" next to the trace ring's.
+  EXPECT_NE(json.find("\"drops\":{\"trace_buffer\":1,"
+                      "\"monitor.broker.dropped.cluster/7\":2,"
+                      "\"t.queue.dropped\":3}"),
+            std::string::npos)
+      << json;
+  EXPECT_NE(json.find("\"drops_total\":6"), std::string::npos);
+}
+
+// Golden-file lock on the v3 metrics layout: a fresh local registry (fully
+// isolated from the global one other tests touch) with one metric of every
+// kind plus drop accounting must serialize byte-identically to the fixture.
+TEST_F(TelemetryTest, MetricsJsonV3GoldenFile) {
+  telemetry::Registry reg;
+  reg.counter("jobs.completed").add(7);
+  reg.drop_counter("monitor.broker.dropped.cluster/3").add(5);
+  reg.gauge("power_w").set(42.5);
+  auto& h = reg.histogram("latency_s", 0.0, 1.0, 4);
+  h.add(0.1);
+  h.add(0.6);
+  auto& s = reg.series("progress", 4);
+  s.push(1.0);
+  s.push(2.0);
+  reg.trace().set_capacity(2);
+  reg.trace().push("a", 'B');
+  reg.trace().push("a", 'E');
+  reg.trace().push("b", 'B');  // over capacity: dropped and counted
+
+  const std::string json = telemetry::metrics_json(reg);
+  EXPECT_TRUE(json_valid(json));
+
+  const std::string path =
+      std::string(ANTAREX_GOLDEN_DIR) + "/metrics_v3.json";
+  if (const char* update = std::getenv("ANTAREX_UPDATE_GOLDEN");
+      update && update[0] == '1') {
+    std::ofstream out(path, std::ios::binary);
+    out << json;
+    GTEST_SKIP() << "regenerated " << path;
+  }
+  std::ifstream in(path, std::ios::binary);
+  std::ostringstream fixture;
+  fixture << in.rdbuf();
+  ASSERT_FALSE(fixture.str().empty())
+      << "missing fixture " << path << " (run with ANTAREX_UPDATE_GOLDEN=1)";
+  EXPECT_EQ(json, fixture.str());
 }
 
 TEST_F(TelemetryTest, HistogramQuantilesInterpolateWithinBuckets) {
@@ -574,6 +641,52 @@ TEST_F(TelemetryTest, ConcurrentHammerKeepsExactTotals) {
             2 * kTotal);
   const auto snap = reg.trace().snapshot();
   EXPECT_EQ(snap.size(), reg.trace().size());
+}
+
+TEST_F(TelemetryTest, HistogramQuantilesStaySaneUnderConcurrentAdds) {
+  // approx_quantile() walks the atomic buckets while writers keep adding:
+  // a snapshot may be mid-add (a bucket incremented before the total), but
+  // it must never tear — every quantile read has to come back inside the
+  // histogram's value range, ordered (p50 <= p95 <= p99), and finite.
+  constexpr int kWriters = 4;
+  constexpr int kIters = 50000;
+  constexpr double kLo = 0.0, kHi = 100.0;
+
+  auto& h = Registry::global().histogram("hammer.quant", kLo, kHi, 20);
+  std::atomic<bool> done{false};
+  std::vector<std::thread> writers;
+  writers.reserve(kWriters);
+  for (int t = 0; t < kWriters; ++t) {
+    writers.emplace_back([t, &h] {
+      for (int i = 0; i < kIters; ++i)
+        h.add(static_cast<double>((t * 37 + i) % 101));
+    });
+  }
+
+  u64 reads = 0;
+  while (!done.load(std::memory_order_relaxed)) {
+    const double p50 = h.approx_quantile(0.50);
+    const double p95 = h.approx_quantile(0.95);
+    const double p99 = h.approx_quantile(0.99);
+    for (const double q : {p50, p95, p99}) {
+      ASSERT_GE(q, kLo);
+      ASSERT_LE(q, kHi);
+      ASSERT_TRUE(std::isfinite(q));
+    }
+    ASSERT_LE(p50, p95);
+    ASSERT_LE(p95, p99);
+    ++reads;
+    if (h.count() >= static_cast<u64>(kWriters) * kIters)
+      done.store(true, std::memory_order_relaxed);
+  }
+  for (auto& w : writers) w.join();
+
+  // Quiescent: totals exact, quantiles within one bin width (5.0) of the
+  // true uniform-distribution quantiles over [0, 100].
+  EXPECT_EQ(h.count(), static_cast<u64>(kWriters) * kIters);
+  EXPECT_NEAR(h.approx_quantile(0.50), 50.0, 5.0);
+  EXPECT_NEAR(h.approx_quantile(0.95), 95.0, 5.0);
+  EXPECT_GE(reads, 1u);
 }
 
 TEST_F(TelemetryTest, ConcurrentResetNeverCorrupts) {

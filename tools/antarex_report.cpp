@@ -1,9 +1,11 @@
 // antarex-report — render a self-contained HTML report from a run's exported
-// artifacts: the Chrome trace (required), plus the metrics registry dump and
-// the energy-attribution dump when available.
+// artifacts: the Chrome trace (required), plus the metrics registry dump,
+// the energy-attribution dump, and the monitor's cluster-health dump when
+// available.
 //
 //   antarex-report <trace.json> [--metrics <metrics.json>]
-//                  [--attribution <attribution.json>] [--title <title>]
+//                  [--attribution <attribution.json>]
+//                  [--monitor <health.json>] [--title <title>]
 //                  [-o <out.html>]
 //   antarex-report --selftest
 //
@@ -28,13 +30,14 @@ int usage() {
       stderr,
       "usage: antarex-report <trace.json> [--metrics <metrics.json>]\n"
       "                      [--attribution <attribution.json>]\n"
+      "                      [--monitor <health.json>]\n"
       "                      [--title <title>] [-o <out.html>]\n"
       "       antarex-report --selftest\n"
       "\n"
       "Renders a self-contained HTML report (flame timeline, per-span\n"
-      "summary, metrics tables, energy attribution) from the JSON artifacts\n"
-      "a telemetry-enabled run writes. No scripts, no external fetches —\n"
-      "the output opens anywhere.\n");
+      "summary, metrics tables, energy attribution, cluster health) from\n"
+      "the JSON artifacts a telemetry-enabled run writes. No scripts, no\n"
+      "external fetches — the output opens anywhere.\n");
   return 2;
 }
 
@@ -72,6 +75,19 @@ int selftest() {
       "\"by_phase\":[{\"span\":\"selftest.outer\",\"joules\":10.0,"
       "\"seconds\":0.8,\"samples\":3},{\"span\":\"(unattributed)\","
       "\"joules\":2.5,\"seconds\":0.2,\"samples\":1}]}";
+  inputs.health_json =
+      "{\"schema\":\"antarex.monitor.health/v1\",\"shards\":2,\"samples\":8,"
+      "\"frames\":32,\"published\":32,\"dropped\":0,\"fabric_bytes\":4096,"
+      "\"metrics\":{\"power_w\":{\"count\":32,\"mean\":180.0,\"min\":64.0,"
+      "\"max\":210.0,\"p50\":181.0,\"p95\":204.0}},"
+      "\"shard_mean\":{\"power_w\":[178.5,183.0],\"temp_c\":[48.0,51.5]},"
+      "\"ring\":{\"power_w\":[[180.0,181.0],[180.5],[]]},"
+      "\"hot_nodes\":[{\"node\":3,\"weight\":5,\"error\":0}],"
+      "\"episodes\":[{\"node\":3,\"shard\":1,\"kind\":\"throttle\","
+      "\"open_s\":4.0,\"close_s\":6.0,\"peak_z\":9.5,\"samples\":3,"
+      "\"open\":false},{\"node\":0,\"shard\":0,\"kind\":\"slow_node\","
+      "\"open_s\":5.0,\"close_s\":8.0,\"peak_z\":6.2,\"samples\":4,"
+      "\"open\":true}]}";
   const std::string html = obs::html_report(inputs);
   const auto has = [&html](const char* needle) {
     return html.find(needle) != std::string::npos;
@@ -82,6 +98,11 @@ int selftest() {
   ANTAREX_CHECK(has("Energy attribution") && has("(unattributed)"),
                 "selftest: attribution section missing");
   ANTAREX_CHECK(has("selftest.iterations"), "selftest: metrics missing");
+  ANTAREX_CHECK(has("Cluster health") && has("Shard heatmap") &&
+                    has("Anomaly timeline"),
+                "selftest: cluster-health section missing");
+  ANTAREX_CHECK(has("throttle") && has("slow_node"),
+                "selftest: anomaly episodes missing from timeline");
   ANTAREX_CHECK(!has("<script"), "selftest: report must not contain scripts");
   std::printf("antarex-report selftest OK (%zu bytes of HTML)\n", html.size());
   return 0;
@@ -115,6 +136,8 @@ int main(int argc, char** argv) {
         inputs.metrics_json = read_file(value());
       } else if (arg == "--attribution") {
         inputs.attribution_json = read_file(value());
+      } else if (arg == "--monitor") {
+        inputs.health_json = read_file(value());
       } else if (arg == "--title") {
         inputs.title = value();
       } else if (arg == "-o" || arg == "--output") {

@@ -74,7 +74,9 @@ def compare(baseline, produced, tolerance, path=""):
             return  # both (near) zero
         if abs(baseline - produced) / denom > tolerance:
             drift = 100.0 * (produced - baseline) / (baseline or denom)
-            yield (path, baseline, produced, f"drift {drift:+.1f}%")
+            delta = produced - baseline
+            yield (path, baseline, produced,
+                   f"delta {delta:+.6g}, drift {drift:+.1f}%")
 
 
 def main():
@@ -123,6 +125,7 @@ def main():
 
     failures = 0
     checked = 0
+    all_mismatches = []  # (report name, path, baseline, produced, message)
     for name in sorted(os.listdir(args.baseline_dir)):
         if not name.endswith(".json"):
             continue
@@ -132,6 +135,8 @@ def main():
         if not os.path.exists(produced_path):
             print(f"FAIL {name}: report not produced")
             failures += 1
+            all_mismatches.append((name, "<report>", "present", "missing",
+                                   "report not produced"))
             continue
         with open(produced_path) as f:
             produced = json.load(f)
@@ -143,6 +148,7 @@ def main():
             for path, b, p, msg in mismatches:
                 print(f"  {path or '<root>'}: baseline={b!r} produced={p!r}"
                       f" ({msg})")
+                all_mismatches.append((name, path or "<root>", b, p, msg))
         else:
             print(f"OK   {name} (tolerance ±{args.tolerance * 100:.0f}%)")
 
@@ -150,6 +156,13 @@ def main():
         print(f"error: no baselines found in '{args.baseline_dir}'")
         return 2
     if failures:
+        # One consolidated block at the end of the log: every out-of-tolerance
+        # metric across every report, so a multi-metric regression is
+        # diagnosable without scrolling through interleaved bench output.
+        print(f"\n=== regression summary "
+              f"({len(all_mismatches)} metric(s) out of tolerance) ===")
+        for name, path, b, p, msg in all_mismatches:
+            print(f"  {name} :: {path}: baseline={b!r} produced={p!r} ({msg})")
         print(f"\n{failures} bench report(s) regressed beyond "
               f"±{args.tolerance * 100:.0f}%")
         return 1
