@@ -1,0 +1,117 @@
+// Causal-tracing overhead gate: the same nav serve_concurrent workload run
+// with telemetry off and on, interleaved, medians compared. The on arm must
+// stay within 5% of the off arm (request-scoped trace contexts, flow marks,
+// and queue-wait accounting are all gated on telemetry::enabled(), so the
+// off arm pays only a relaxed atomic load per site) AND the recorded trace
+// must reconstruct into causally complete request trees whose latency
+// decomposition sums to each request's wall time — overhead is only worth
+// bounding if the trace it buys is sound.
+//
+// Usage: bench_trace_overhead [--threads N]   (default: hardware concurrency)
+#include <algorithm>
+#include <cmath>
+
+#include "bench_common.hpp"
+#include "causal/critical_path.hpp"
+#include "nav/nav.hpp"
+#include "nav/server.hpp"
+
+int main(int argc, char** argv) {
+  using namespace antarex;
+  using namespace antarex::nav;
+
+  bench::parse_telemetry(argc, argv);
+  bench::header("TRACE-OVERHEAD",
+                "causal tracing overhead over concurrent nav serving");
+  const int threads =
+      bench::parse_threads(argc, argv, exec::ThreadPool::hardware_threads());
+
+  Rng rng(7);
+  const RoadGraph city = RoadGraph::grid_city(rng, 40, 40);
+  SpeedProfiles profiles;
+  Rng req_rng(8);
+  const auto requests =
+      diurnal_requests(req_rng, city, 4 * 3600.0, 0.05, 0.25, 7 * 3600.0);
+  std::printf("city %zu nodes / %zu edges; %zu requests over 4 h\n\n",
+              city.num_nodes(), city.num_edges(), requests.size());
+
+  NavServer server(city, profiles, 7e-4, 1);
+  exec::ThreadPool pool(threads);
+  auto knobs = [](std::size_t backlog, double) {
+    return ServerKnobs{{true, backlog > 4 ? 3.0 : 1.0}, 1};
+  };
+  auto run_once = [&]() {
+    return server.serve_concurrent(pool, requests, knobs, 16);
+  };
+
+  // Interleave off/on reps so clock drift and cache state hit both arms
+  // symmetrically; compare medians, the noise-robust central figure.
+  constexpr int kReps = 3;
+  std::vector<double> off_s, on_s;
+  run_once();  // warm-up: page in the graph and the pool
+  for (int rep = 0; rep < kReps; ++rep) {
+    telemetry::set_enabled(false);
+    off_s.push_back(run_once().wall_s);
+    telemetry::set_enabled(true);
+    telemetry::Registry::global().trace().clear();
+    on_s.push_back(run_once().wall_s);
+  }
+  telemetry::set_enabled(false);
+
+  auto median = [](std::vector<double> xs) {
+    std::sort(xs.begin(), xs.end());
+    return xs[xs.size() / 2];
+  };
+  const double off = median(off_s);
+  const double on = median(on_s);
+  const double overhead = off > 0.0 ? (on - off) / off : 0.0;
+
+  // The last on-rep's trace is still in the buffer: reconstruct it and
+  // check causal soundness. Every request must form one complete tree and
+  // every tree's decomposition must sum to its wall time within 1%.
+  const causal::TraceForest forest = causal::TraceForest::from_registry();
+  std::size_t decomposed = 0, within = 0;
+  double worst_err = 0.0;
+  for (const causal::RequestTree& tree : forest.trees()) {
+    if (tree.root == SIZE_MAX) continue;
+    ++decomposed;
+    const causal::Decomposition d = causal::decompose(tree);
+    const double err =
+        d.total_s > 0.0 ? std::fabs(d.sum() - d.total_s) / d.total_s : 0.0;
+    worst_err = std::max(worst_err, err);
+    if (err <= 0.01) ++within;
+  }
+  const bool trees_ok = forest.complete() &&
+                        forest.trees().size() == requests.size() &&
+                        decomposed == forest.trees().size() &&
+                        within == decomposed;
+
+  Table t({"arm", "median wall (s)"});
+  t.add_row({"telemetry off", format("%.4f", off)});
+  t.add_row({"telemetry on (causal tracing)", format("%.4f", on)});
+  t.print();
+  std::printf("\noverhead %.2f%% (gate 5%%); %zu trees, %zu spans, %zu "
+              "orphans, worst decomposition error %.3g\n",
+              100.0 * overhead, forest.trees().size(), forest.total_spans(),
+              forest.total_orphans(), worst_err);
+
+  bench::metric("iterations", static_cast<double>(requests.size()));
+  bench::metric("trees", static_cast<double>(forest.trees().size()));
+  bench::metric("spans", static_cast<double>(forest.total_spans()));
+  bench::metric("orphans", static_cast<double>(forest.total_orphans()));
+  bench::metric("causally_complete", forest.complete() ? 1.0 : 0.0);
+  bench::metric("decomposition_within_1pct",
+                decomposed > 0 && within == decomposed ? 1.0 : 0.0);
+  bench::metric("measured_off_wall_s", off);
+  bench::metric("measured_on_wall_s", on);
+  bench::metric("measured_overhead_pct", 100.0 * overhead);
+  bench::verdict(
+      "request-scoped causal tracing must cost <= 5% and reconstruct "
+      "complete per-request trees",
+      format("overhead %.2f%% (off %.4fs, on %.4fs); %zu/%zu complete trees, "
+             "decomposition within 1%% for all",
+             100.0 * overhead, off, on, forest.trees().size(),
+             requests.size()),
+      overhead <= 0.05 && trees_ok);
+  return 0;
+}

@@ -1,0 +1,19 @@
+// antarex::causal — request-scoped causal analysis over the telemetry layer.
+//
+// Three pieces (see DESIGN.md "Causal tracing & decision provenance"):
+//  - critical_path.hpp: reconstruct per-request trees from trace events,
+//    find the critical path, decompose latency into queue-wait / compute /
+//    cache-hit / degraded segments;
+//  - slo.hpp: per-tier latency objectives with rolling error budgets and
+//    burn-rate alerts (causal.slo.* telemetry);
+//  - ledger.hpp: the decision provenance ledger every control-plane actor
+//    (policy engine, governor, anomaly detector) records into.
+//
+// The identity layer itself — TraceContext, ContextScope, fork_context —
+// lives in telemetry/context.hpp so that telemetry and exec can use it
+// without depending on this library; causal depends only on telemetry.
+#pragma once
+
+#include "causal/critical_path.hpp"  // IWYU pragma: export
+#include "causal/ledger.hpp"         // IWYU pragma: export
+#include "causal/slo.hpp"            // IWYU pragma: export

@@ -49,6 +49,12 @@ double PoolStats::total_busy_s() const {
   return total;
 }
 
+double PoolStats::mean_queue_wait_s() const {
+  return waited_tasks > 0
+             ? queue_wait_total_s / static_cast<double>(waited_tasks)
+             : 0.0;
+}
+
 struct ThreadPool::Worker {
   TaskDeque deque;
   std::mutex inbox_mu;
@@ -57,6 +63,9 @@ struct ThreadPool::Worker {
   std::atomic<u64> tasks{0};
   std::atomic<u64> steals{0};
   std::atomic<u64> inline_runs{0};
+  std::atomic<u64> wait_ns{0};      ///< summed submit-to-start queue wait
+  std::atomic<u64> wait_max_ns{0};  ///< written only by the owning thread
+  std::atomic<u64> waited{0};
 };
 
 namespace {
@@ -66,6 +75,10 @@ struct ForState {
   std::function<void(std::size_t, std::size_t)> body;
   std::size_t n = 0;
   std::size_t grain = 1;
+  // Causal context of the parallel_for span; each chunk adopts a
+  // deterministic child keyed by its chunk index, so the request tree is
+  // identical no matter which worker ran (or stole) the chunk.
+  telemetry::TraceContext ctx;
   std::atomic<std::size_t> remaining{0};  ///< chunks not yet finished
   std::mutex mu;
   std::condition_variable cv;
@@ -102,11 +115,19 @@ struct FnTask final : Task {
 };
 
 struct ChunkTask final : Task {
-  ChunkTask(ForState* s, std::size_t b, std::size_t e)
-      : state(s), begin(b), end(e) {}
-  void run() override { state->run_chunk(begin, end); }
+  ChunkTask(ForState* s, std::size_t b, std::size_t e, std::size_t c)
+      : state(s), begin(b), end(e), chunk(c) {}
+  void run() override {
+    if (state->ctx.active()) {
+      telemetry::ContextScope scope(
+          state->ctx.child_task(static_cast<u64>(chunk)));
+      state->run_chunk(begin, end);
+    } else {
+      state->run_chunk(begin, end);
+    }
+  }
   ForState* state;
-  std::size_t begin, end;
+  std::size_t begin, end, chunk;
 };
 
 // Scatters one worker's share of chunks into the *executing* worker's
@@ -122,7 +143,8 @@ struct SeedTask final : Task {
     for (std::size_t c = chunk_begin; c < chunk_end; ++c) {
       const std::size_t begin = c * state->grain;
       const std::size_t end = std::min(state->n, begin + state->grain);
-      auto* chunk = new ChunkTask(state, begin, end);
+      auto* chunk = new ChunkTask(state, begin, end, c);
+      chunk->submit_ns = now_ns();
       if (!t_my_deque->push(chunk)) {
         // Deque full: run right here. Costs parallelism, never correctness.
         t_my_inline_runs->fetch_add(1, std::memory_order_relaxed);
@@ -168,12 +190,27 @@ int ThreadPool::hardware_threads() {
 }
 
 void ThreadPool::submit(std::function<void()> fn) {
+  // Carry the submitter's causal context (if any) across the thread
+  // boundary: fork a child task context here — serially, so its slot is
+  // deterministic — and adopt it on whichever worker ends up running the
+  // task. Inactive contexts (no tracing) skip the wrapper entirely.
+  const telemetry::TraceContext ctx = telemetry::fork_context();
+  Task* t;
+  if (ctx.active()) {
+    t = new FnTask([ctx, f = std::move(fn)] {
+      telemetry::ContextScope scope(ctx);
+      f();
+    });
+  } else {
+    t = new FnTask(std::move(fn));
+  }
   const std::size_t w =
       next_inbox_.fetch_add(1, std::memory_order_relaxed) % workers_.size();
-  submit_to(w, new FnTask(std::move(fn)));
+  submit_to(w, t);
 }
 
 void ThreadPool::submit_to(std::size_t worker, Task* t) {
+  t->submit_ns = now_ns();
   Worker& w = *workers_[worker];
   {
     std::lock_guard<std::mutex> lock(w.inbox_mu);
@@ -231,6 +268,9 @@ void ThreadPool::parallel_for(
   state.body = body;
   state.n = n;
   state.grain = grain;
+  // Children of the exec.parallel_for span just opened above (inactive when
+  // the caller has no causal context).
+  state.ctx = telemetry::current_context();
   const std::size_t chunks = (n + grain - 1) / grain;
   state.remaining.store(chunks, std::memory_order_relaxed);
 
@@ -290,6 +330,19 @@ void ThreadPool::run_task(Worker& self, Task* t) {
   TELEMETRY_SPAN("exec.task");
   active_workers_.fetch_add(1, std::memory_order_relaxed);
   const u64 t0 = now_ns();
+  if (t->submit_ns != 0 && t0 > t->submit_ns) {
+    const u64 wait = t0 - t->submit_ns;
+    self.wait_ns.fetch_add(wait, std::memory_order_relaxed);
+    self.waited.fetch_add(1, std::memory_order_relaxed);
+    if (wait > self.wait_max_ns.load(std::memory_order_relaxed))
+      self.wait_max_ns.store(wait, std::memory_order_relaxed);
+    if (telemetry::enabled()) {
+      static telemetry::Histogram& queue_wait =
+          telemetry::Registry::global().histogram("exec.queue_wait_us", 0.0,
+                                                  10000.0, 64);
+      queue_wait.add(static_cast<double>(wait) * 1e-3);
+    }
+  }
   t->run();
   active_workers_.fetch_sub(1, std::memory_order_relaxed);
   self.busy_ns.fetch_add(now_ns() - t0, std::memory_order_relaxed);
@@ -339,6 +392,13 @@ PoolStats ThreadPool::stats() const {
     s.tasks += tasks;
     s.steals += w->steals.load(std::memory_order_relaxed);
     s.inline_runs += w->inline_runs.load(std::memory_order_relaxed);
+    s.waited_tasks += w->waited.load(std::memory_order_relaxed);
+    s.queue_wait_total_s +=
+        static_cast<double>(w->wait_ns.load(std::memory_order_relaxed)) * 1e-9;
+    s.queue_wait_max_s = std::max(
+        s.queue_wait_max_s,
+        static_cast<double>(w->wait_max_ns.load(std::memory_order_relaxed)) *
+            1e-9);
   }
   s.retries = retries_.load(std::memory_order_relaxed);
   return s;
@@ -351,6 +411,9 @@ void ThreadPool::reset_stats() {
     w->tasks.store(0, std::memory_order_relaxed);
     w->steals.store(0, std::memory_order_relaxed);
     w->inline_runs.store(0, std::memory_order_relaxed);
+    w->wait_ns.store(0, std::memory_order_relaxed);
+    w->wait_max_ns.store(0, std::memory_order_relaxed);
+    w->waited.store(0, std::memory_order_relaxed);
   }
 }
 

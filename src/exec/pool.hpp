@@ -43,6 +43,8 @@ class Task {
  public:
   virtual ~Task() = default;
   virtual void run() = 0;
+
+  u64 submit_ns = 0;  ///< stamped at enqueue; run_task measures queue wait
 };
 
 /// Quiescent-read execution statistics. Exact only while no tasks are in
@@ -55,10 +57,16 @@ struct PoolStats {
   u64 retries = 0;                  ///< async_retry re-submissions after a throw
   std::vector<double> worker_busy_s;  ///< per-worker task execution time
   std::vector<u64> worker_tasks;
+  // Submit-to-start queue wait, accumulated per task independently of
+  // tracing (the exec.queue_wait_us histogram carries the p50/p95/p99).
+  u64 waited_tasks = 0;            ///< tasks with a measured wait
+  double queue_wait_total_s = 0.0;
+  double queue_wait_max_s = 0.0;
 
   /// max busy / mean busy, the same figure the dock simulators report.
   double imbalance() const;
   double total_busy_s() const;
+  double mean_queue_wait_s() const;
 };
 
 class ThreadPool {

@@ -5,8 +5,10 @@
 #include <map>
 #include <sstream>
 
+#include "causal/ledger.hpp"
 #include "rtrm/dispatcher.hpp"
 #include "support/json.hpp"
+#include "support/strings.hpp"
 #include "telemetry/telemetry.hpp"
 
 namespace antarex::govern {
@@ -82,7 +84,7 @@ void CapCoordinator::detach() {
 }
 
 void CapCoordinator::on_control(std::vector<rtrm::Node>& nodes, double now_s) {
-  (void)now_s;
+  last_now_s_ = now_s;
   maybe_redistribute();
   // Victim ordering by job priority: devices running high-priority jobs are
   // clamped last. The running set is committed serially on this thread.
@@ -129,11 +131,28 @@ void CapCoordinator::maybe_redistribute() {
   if (alive == last_alive_) return;
   ++stats_.redistributions;
   TELEMETRY_COUNT("govern.redistributions", 1);
+
+  causal::DecisionRecord rec;
+  rec.t_s = last_now_s_;
+  rec.actor = "govern.coordinator";
+  rec.action = "renegotiate";
+  rec.cause = format("alive set changed %zu -> %zu", last_alive_, alive);
+  rec.cause_value = static_cast<double>(alive);
+  const u64 seq = causal::DecisionLedger::global().record(std::move(rec));
+
   last_alive_ = alive;
   renegotiate();
+
+  double budget_sum = 0.0;
+  for (double b : budgets_w_) budget_sum += b;
+  causal::DecisionLedger::global().note_effect(
+      seq, format("budgets resplit: %.1f W across %zu nodes", budget_sum,
+                  alive),
+      budget_sum);
 }
 
 void CapCoordinator::on_step(double now_s, double it_power_w, double dt_s) {
+  last_now_s_ = now_s;
   maybe_redistribute();
 
   stats_.consumed_j += it_power_w * dt_s;
@@ -172,6 +191,15 @@ void CapCoordinator::close_epoch(double now_s) {
   last_epoch_mean_w_ = mean_w;
   ++stats_.epochs;
 
+  // The observed effect of the previous epoch's ladder move is this epoch's
+  // mean power — close that decision's loop in the provenance ledger.
+  if (pending_decision_seq_ != 0) {
+    causal::DecisionLedger::global().note_effect(
+        pending_decision_seq_, format("next epoch mean %.1f W", mean_w),
+        mean_w);
+    pending_decision_seq_ = 0;
+  }
+
   if (mean_w > cfg_.cluster_cap_w + 1e-9) {
     ++stats_.violations;
     stats_.worst_overshoot_w =
@@ -201,6 +229,16 @@ void CapCoordinator::close_epoch(double now_s) {
     for (auto& a : actuators_)
       if (a->restrict()) {
         ++stats_.restricts;
+        causal::DecisionRecord rec;
+        rec.t_s = now_s;
+        rec.actor = "govern.coordinator";
+        rec.action = format("restrict:%s", a->name().c_str());
+        rec.cause = format(
+            "epoch mean %.1f W > effective cap %.1f W for %d epochs", mean_w,
+            eff_cap, over_streak_);
+        rec.cause_value = mean_w;
+        pending_decision_seq_ =
+            causal::DecisionLedger::global().record(std::move(rec));
         last_actuation_s_ = now_s;
         over_streak_ = 0;
         break;
@@ -209,6 +247,17 @@ void CapCoordinator::close_epoch(double now_s) {
     for (auto it = actuators_.rbegin(); it != actuators_.rend(); ++it)
       if ((*it)->relax()) {
         ++stats_.relaxes;
+        causal::DecisionRecord rec;
+        rec.t_s = now_s;
+        rec.actor = "govern.coordinator";
+        rec.action = format("relax:%s", (*it)->name().c_str());
+        rec.cause = format(
+            "epoch mean %.1f W under %.1f W (relax margin) for %d epochs",
+            mean_w, cfg_.cluster_cap_w * (1.0 - cfg_.relax_margin),
+            under_streak_);
+        rec.cause_value = mean_w;
+        pending_decision_seq_ =
+            causal::DecisionLedger::global().record(std::move(rec));
         last_actuation_s_ = now_s;
         under_streak_ = 0;
         break;

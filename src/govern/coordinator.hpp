@@ -136,6 +136,10 @@ class CapCoordinator {
   int over_streak_ = 0;
   int under_streak_ = 0;
   double last_actuation_s_ = -1e300;
+  double last_now_s_ = 0.0;  ///< most recent sim time seen by any callback
+  /// Ledger record of the last ladder move, awaiting its observed effect
+  /// (the next epoch's mean power) — see causal::DecisionLedger.
+  u64 pending_decision_seq_ = 0;
 };
 
 }  // namespace antarex::govern

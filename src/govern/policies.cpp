@@ -25,7 +25,8 @@ InstalledPolicies install_actuating_policies(
     std::shared_ptr<Actuator> thermal, std::shared_ptr<Actuator> nav,
     ActuatingPolicyConfig cfg) {
   InstalledPolicies out;
-  const obs::PolicyOptions opts{cfg.cooldown_s};
+  obs::PolicyOptions opts;
+  opts.cooldown_s = cfg.cooldown_s;
 
   if (cfg.power_cap_w > 0.0 && !ladder.empty()) {
     auto shared = std::make_shared<std::vector<std::shared_ptr<Actuator>>>(

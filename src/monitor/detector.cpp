@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <cmath>
 
+#include "causal/ledger.hpp"
 #include "support/strings.hpp"
 #include "telemetry/telemetry.hpp"
 
@@ -155,6 +156,15 @@ void AnomalyDetector::open_episode(KindState& ks, AnomalyKind kind, double z,
       .counter(format("monitor.anomaly.open.%s", anomaly_kind_name(kind)))
       .add(1);
   TELEMETRY_GAUGE("monitor.anomaly_active", static_cast<double>(active_));
+  // Decision provenance: an episode opening is the detector deciding the
+  // node is anomalous; the observed effect lands when the episode closes.
+  causal::DecisionRecord rec;
+  rec.t_s = frame.t_s;
+  rec.actor = "monitor.detector";
+  rec.action = format("episode_open:%s", anomaly_kind_name(kind));
+  rec.cause = format("node %u shard %u z=%.2f", frame.node, frame.shard, z);
+  rec.cause_value = z;
+  ks.ledger_seq = causal::DecisionLedger::global().record(std::move(rec));
   if (hook_) hook_(ks.episode, true);
 }
 
@@ -165,6 +175,15 @@ void AnomalyDetector::close_episode(KindState& ks, double t_s) {
   (void)t_s;  // close time is the last flagged sample, already recorded
   --active_;
   TELEMETRY_GAUGE("monitor.anomaly_active", static_cast<double>(active_));
+  if (ks.ledger_seq != 0) {
+    causal::DecisionLedger::global().note_effect(
+        ks.ledger_seq,
+        format("closed after %.2fs, %u samples, peak z=%.2f",
+               ks.episode.close_t_s - ks.episode.open_t_s, ks.episode.samples,
+               ks.episode.peak_z),
+        ks.episode.peak_z);
+    ks.ledger_seq = 0;
+  }
   if (hook_) hook_(ks.episode, false);
   if (closed_.size() >= cfg_.max_closed) {
     ++closed_overflow_;

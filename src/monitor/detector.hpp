@@ -114,6 +114,7 @@ class AnomalyDetector {
     u32 quiet = 0;  ///< consecutive quiet samples while open
     bool open = false;
     Episode episode;
+    u64 ledger_seq = 0;  ///< causal::DecisionLedger record awaiting close
   };
   struct NodeTrack {
     KindState kinds[kAnomalyKindCount];

@@ -117,7 +117,13 @@ std::vector<ServedRequest> NavServer::serve(const std::vector<Request>& requests
   auto& latency_hist =
       telemetry::Registry::global().histogram("nav.latency_s", 0.0, 2.0, 40);
 
-  for (const Request& req : requests) {
+  for (std::size_t i = 0; i < requests.size(); ++i) {
+    const Request& req = requests[i];
+    // One request = one causal tree, rooted at a deterministic id derived
+    // from the request index (byte-identical across runs and thread counts).
+    const telemetry::TraceContext root =
+        telemetry::TraceContext::root(static_cast<u64>(i) + 1);
+    telemetry::ContextScope ctx_scope(root);
     TELEMETRY_SPAN("nav.request");
     // Queue length seen on arrival: requests that started after this arrival
     // is an approximation; use backlog = number of pending starts > arrival.
@@ -134,6 +140,11 @@ std::vector<ServedRequest> NavServer::serve(const std::vector<Request>& requests
 
     if (try_degraded(req, backlog, served)) {
       // Answered (or dropped) at the front door: no worker slot consumed.
+      if (served.shed) {
+        TELEMETRY_SPAN("nav.shed");
+      } else {
+        TELEMETRY_SPAN("nav.stale");
+      }
       served.queue_wait_s = 0.0;
       served.latency_s = served.service_s;
     } else {
@@ -142,7 +153,10 @@ std::vector<ServedRequest> NavServer::serve(const std::vector<Request>& requests
       const double start = std::max(req.arrival_s, worker_free);
 
       // Run the actual routing computation.
-      compute_route(req, knobs, served);
+      {
+        TELEMETRY_SPAN("nav.compute");
+        compute_route(req, knobs, served);
+      }
       remember(served);
       served.queue_wait_s = start - req.arrival_s;
       served.latency_s = served.queue_wait_s + served.service_s;
@@ -216,11 +230,26 @@ ConcurrentServeResult NavServer::serve_concurrent(
     served.request = requests[i];
     served.knobs_used = knobs;
 
+    // Root of this request's causal tree; the 'S' mark at admission is the
+    // flow-start the queue-wait segment is measured from.
+    const telemetry::TraceContext root =
+        telemetry::TraceContext::root(static_cast<u64>(i) + 1);
+
     if (try_degraded(requests[i], backlog, served)) {
       // Degraded answers never enter the pool; they are final immediately.
       // (The observer therefore sees them at admission time, slightly ahead
       // of still-in-flight earlier requests — a deterministic order either
       // way, since backlog depends only on i and max_in_flight.)
+      telemetry::mark_scheduled(root);
+      {
+        telemetry::ContextScope ctx_scope(root);
+        TELEMETRY_SPAN("nav.request");
+        if (served.shed) {
+          TELEMETRY_SPAN("nav.shed");
+        } else {
+          TELEMETRY_SPAN("nav.stale");
+        }
+      }
       served.latency_s = served.service_s;
       TELEMETRY_COUNT("nav.requests", 1);
       latency_hist.add(served.latency_s);
@@ -228,10 +257,14 @@ ConcurrentServeResult NavServer::serve_concurrent(
       continue;
     }
 
-    window.emplace_back(i, pool.async([this, &served, i, knobs, &requests] {
-      TELEMETRY_SPAN("nav.request");
-      compute_route(requests[i], knobs, served);
-    }));
+    telemetry::mark_scheduled(root);
+    window.emplace_back(i,
+                        pool.async([this, &served, i, knobs, &requests, root] {
+                          telemetry::ContextScope ctx_scope(root);
+                          TELEMETRY_SPAN("nav.request");
+                          TELEMETRY_SPAN("nav.compute");
+                          compute_route(requests[i], knobs, served);
+                        }));
   }
   while (!window.empty()) collect_front();
 

@@ -3,6 +3,8 @@
 #include <algorithm>
 #include <memory>
 
+#include "causal/ledger.hpp"
+#include "support/strings.hpp"
 #include "telemetry/telemetry.hpp"
 
 namespace antarex::obs {
@@ -70,8 +72,10 @@ void PolicyEngine::fire(Policy& p, const PolicyContext& ctx) {
   p.last_fire_s = ctx.now_s;
   ++p.fires;
   TELEMETRY_COUNT("obs.policy_fires", 1);
+  PolicyAction action = PolicyAction::None;
   if (p.act) {
-    switch (p.act(ctx)) {
+    action = p.act(ctx);
+    switch (action) {
       case PolicyAction::None:
         break;
       case PolicyAction::Restrict:
@@ -86,12 +90,43 @@ void PolicyEngine::fire(Policy& p, const PolicyContext& ctx) {
   } else {
     p.then(ctx);
   }
+
+  // Decision provenance: every fire is a control-plane decision. The cause
+  // is whatever drove the predicate — the configured cause_metric reading,
+  // or the span that just exited, or the bare tick.
+  causal::DecisionRecord rec;
+  rec.t_s = ctx.now_s;
+  rec.actor = "policy." + p.name;
+  rec.action = p.act ? format("actuate:%s", policy_action_name(action))
+                     : std::string("alert");
+  if (!p.opts.cause_metric.empty()) {
+    const double v = ctx.registry->gauge(p.opts.cause_metric).last();
+    rec.cause = format("%s=%.6g", p.opts.cause_metric.c_str(), v);
+    rec.cause_value = v;
+  } else if (ctx.span != nullptr) {
+    rec.cause = format("span %s took %.6fs", ctx.span, ctx.span_duration_s);
+    rec.cause_value = ctx.span_duration_s;
+  } else {
+    rec.cause = "tick";
+  }
+  const u64 seq = causal::DecisionLedger::global().record(std::move(rec));
+  if (!p.opts.effect_metric.empty()) p.pending_seq = seq;
 }
 
 void PolicyEngine::evaluate(const PolicyContext& ctx) {
   std::lock_guard<std::mutex> lock(mu_);
   ++evaluations_;
   for (Policy& p : policies_) {
+    // A fire from the previous evaluation left a pending ledger record:
+    // attach the configured effect metric's current reading as the observed
+    // effect, one evaluation later.
+    if (p.pending_seq != 0 && !p.opts.effect_metric.empty()) {
+      const double v = ctx.registry->gauge(p.opts.effect_metric).last();
+      causal::DecisionLedger::global().note_effect(
+          p.pending_seq, format("%s=%.6g", p.opts.effect_metric.c_str(), v),
+          v);
+      p.pending_seq = 0;
+    }
     const bool cond = p.when(ctx);
     // With a cooldown, any fire (first crossing or re-fire while held) must
     // sit at least cooldown_s after the previous one; without one, only the

@@ -68,6 +68,13 @@ struct PolicyOptions {
   /// crossing that lands inside the cooldown window of the previous fire
   /// waits for the window to expire (anti-oscillation hysteresis).
   double cooldown_s = 0.0;
+  /// Provenance wiring (causal::DecisionLedger records every fire). When
+  /// cause_metric names a gauge, its reading at fire time becomes the
+  /// recorded cause; when effect_metric names one, the *next* evaluation
+  /// after the fire attaches its reading as the observed effect — the
+  /// closed-loop "what did the world do after we acted" measurement.
+  std::string cause_metric;
+  std::string effect_metric;
 };
 
 class PolicyEngine {
@@ -122,6 +129,7 @@ class PolicyEngine {
     u64 fires = 0;
     u64 restricts = 0;
     u64 relaxes = 0;
+    u64 pending_seq = 0;  ///< ledger record awaiting its observed effect
   };
   int add_policy(Policy p);
   void fire(Policy& p, const PolicyContext& ctx);

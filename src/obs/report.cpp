@@ -392,6 +392,40 @@ void emit_cluster_health(std::string& html, const JsonValue& health) {
   html += "</table>\n";
 }
 
+// Decision provenance: the causal::DecisionLedger dump as an "explain"
+// timeline — who decided what, on what evidence, and what happened next.
+void emit_decisions(std::string& html, const JsonValue& ledger) {
+  const JsonValue* decisions = ledger.get("decisions");
+  if (!decisions || !decisions->is_array() ||
+      decisions->as_array().empty()) {
+    html += "<p class=note>no decisions recorded</p>\n";
+    return;
+  }
+  const auto& recs = decisions->as_array();
+  html += format("<p class=meta>%zu decisions (%.0f dropped at the ledger)"
+                 "</p>\n",
+                 recs.size(), ledger.number_or("dropped", 0.0));
+  html += "<table><tr><th>#</th><th>t (s)</th><th>actor</th><th>action</th>"
+          "<th>cause</th><th>observed effect</th></tr>\n";
+  for (const JsonValue& r : recs) {
+    const auto str = [&r](const char* key) -> std::string {
+      const JsonValue* v = r.get(key);
+      return v && v->is_string() ? v->as_string() : std::string();
+    };
+    const JsonValue* effect = r.get("effect");
+    const std::string effect_text =
+        effect && effect->is_string() ? effect->as_string()
+                                      : std::string("(pending)");
+    html += format(
+        "<tr><td class=r>%.0f</td><td class=r>%.3f</td><td>%s</td>"
+        "<td>%s</td><td>%s</td><td>%s</td></tr>\n",
+        r.number_or("seq", 0.0), r.number_or("t_s", 0.0),
+        html_escape(str("actor")).c_str(), html_escape(str("action")).c_str(),
+        html_escape(str("cause")).c_str(), html_escape(effect_text).c_str());
+  }
+  html += "</table>\n";
+}
+
 constexpr const char* kStyle = R"css(
 body{font:14px/1.45 system-ui,sans-serif;margin:24px auto;max-width:1100px;
      color:#222;background:#fafafa}
@@ -449,6 +483,11 @@ std::string html_report(const ReportInputs& inputs) {
   if (!inputs.health_json.empty()) {
     html += "<h2>Cluster health</h2>\n";
     emit_cluster_health(html, parse_json(inputs.health_json));
+  }
+
+  if (!inputs.decisions_json.empty()) {
+    html += "<h2>Decision provenance</h2>\n";
+    emit_decisions(html, parse_json(inputs.decisions_json));
   }
 
   html += "<h2>Timeline</h2>\n";

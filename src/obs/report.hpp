@@ -16,6 +16,7 @@ struct ReportInputs {
   std::string metrics_json;      ///< telemetry::metrics_json() (optional)
   std::string attribution_json;  ///< EnergyAccountant::json() (optional)
   std::string health_json;       ///< MonitorFabric::health_json() (optional)
+  std::string decisions_json;    ///< causal::DecisionLedger::json() (optional)
 };
 
 /// Render the report; throws antarex::Error when trace_json (or a provided

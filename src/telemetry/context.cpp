@@ -1,0 +1,36 @@
+#include "telemetry/context.hpp"
+
+#include "telemetry/registry.hpp"
+#include "telemetry/trace.hpp"
+
+namespace antarex::telemetry {
+
+TraceContext fork_context() {
+  detail::ContextFrame* top = detail::context_top();
+  if (top == nullptr || !enabled()) return TraceContext{};
+  const TraceContext ctx = top->ctx.child_task(top->next_child++);
+  Registry::global().trace().push("sched", 'S', ctx.trace_id, ctx.span_id,
+                                  ctx.parent_id);
+  return ctx;
+}
+
+void mark_scheduled(const TraceContext& ctx) {
+  if (!ctx.active() || !enabled()) return;
+  Registry::global().trace().push("sched", 'S', ctx.trace_id, ctx.span_id,
+                                  ctx.parent_id);
+}
+
+ContextScope::ContextScope(const TraceContext& ctx) {
+  if (!ctx.active() || !enabled()) return;
+  frame_.ctx = ctx;
+  detail::push_context_frame(&frame_);
+  installed_ = true;
+  Registry::global().trace().push("sched", 'F', ctx.trace_id, ctx.span_id,
+                                  ctx.parent_id);
+}
+
+ContextScope::~ContextScope() {
+  if (installed_) detail::pop_context_frame(&frame_);
+}
+
+}  // namespace antarex::telemetry

@@ -1,0 +1,130 @@
+// Causal trace contexts: the identity layer under antarex::causal.
+//
+// A TraceContext names one node in a request's causal tree:
+// {trace_id, span_id, parent_id}. The ids are *derived*, never drawn from a
+// shared counter: child ids mix the parent's span id with a per-parent slot
+// number (SplitMix64 finalizer, the same generator family as
+// exec::stream_seed), and slots are allocated from a thread-local frame that
+// only the owning thread touches. Because every fork point runs on exactly
+// one thread, the id tree is a pure function of program structure — it is
+// byte-identical across thread counts and runs, which is what lets the
+// causal analyzer compare traces structurally (DESIGN.md decision 5 extended
+// to identity).
+//
+// Propagation protocol (exec::ThreadPool implements it; anything that moves
+// work across threads can):
+//  - the submitter calls fork_context() — allocates a child slot under the
+//    current frame and emits a flow-start ('S') mark;
+//  - the wrapped task installs a ContextScope on the executing thread —
+//    emits a flow-finish ('F') mark and makes the context current, so spans
+//    opened inside parent correctly even when the task was stolen.
+// The S→F pair is both the Chrome-trace flow arrow and the measured
+// submit-to-start queue wait of that hop.
+#pragma once
+
+#include "support/common.hpp"
+#include "telemetry/enable.hpp"
+
+namespace antarex::telemetry {
+
+namespace detail {
+
+/// SplitMix64 finalizer over (parent id, slot key) — the id derivation used
+/// for every child context. Pure arithmetic: deterministic on any platform.
+inline u64 causal_mix(u64 parent, u64 key) {
+  u64 z = parent + (key + 1) * 0x9e3779b97f4a7c15ULL;
+  z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ULL;
+  z = (z ^ (z >> 27)) * 0x94d049bb133111ebULL;
+  return z ^ (z >> 31);
+}
+
+}  // namespace detail
+
+/// One node of a causal tree. trace_id == 0 means "no context" (inactive);
+/// all operations on an inactive context are no-ops, so instrumentation
+/// sites never need to branch on whether tracing is on.
+struct TraceContext {
+  u64 trace_id = 0;   ///< the request/epoch this work belongs to
+  u64 span_id = 0;    ///< this node
+  u64 parent_id = 0;  ///< the node that caused it (0 = tree root)
+
+  bool active() const { return trace_id != 0; }
+
+  /// Root context of a new tree. trace_id must be nonzero and unique per
+  /// request (nav uses request index + 1).
+  static TraceContext root(u64 trace_id) {
+    return TraceContext{trace_id, detail::causal_mix(trace_id, 0), 0};
+  }
+
+  /// Child for a nested span (slot = per-parent ordinal). Span children and
+  /// task children use disjoint key spaces so a span and a fork with the
+  /// same slot never collide.
+  TraceContext child(u64 slot) const {
+    return TraceContext{trace_id, detail::causal_mix(span_id, 2 * slot + 1),
+                        span_id};
+  }
+
+  /// Child for work forked to another thread (pool task, parallel_for chunk).
+  TraceContext child_task(u64 slot) const {
+    return TraceContext{trace_id, detail::causal_mix(span_id, 2 * slot + 2),
+                        span_id};
+  }
+};
+
+namespace detail {
+
+/// Stack frame of the current context, linked through the thread-local top.
+/// Frames live inside ScopedSpan/ContextScope objects — no allocation.
+struct ContextFrame {
+  TraceContext ctx;
+  u64 next_child = 0;  ///< slot counter for children of this node
+  ContextFrame* prev = nullptr;
+};
+
+inline thread_local ContextFrame* t_context_top = nullptr;
+
+inline ContextFrame* context_top() { return t_context_top; }
+
+inline void push_context_frame(ContextFrame* f) {
+  f->next_child = 0;
+  f->prev = t_context_top;
+  t_context_top = f;
+}
+
+inline void pop_context_frame(ContextFrame* f) { t_context_top = f->prev; }
+
+}  // namespace detail
+
+/// The context of the innermost open span/scope on this thread (inactive
+/// when none).
+inline TraceContext current_context() {
+  const detail::ContextFrame* top = detail::context_top();
+  return top ? top->ctx : TraceContext{};
+}
+
+/// Allocate a child context for work about to be handed to another thread
+/// and emit its flow-start ('S') mark. Inactive (and mark-free) when this
+/// thread has no current context or telemetry is disabled.
+TraceContext fork_context();
+
+/// Emit the flow-start ('S') mark for an externally created context (e.g. a
+/// nav request root at admission time). No-op when ctx is inactive or
+/// telemetry is disabled.
+void mark_scheduled(const TraceContext& ctx);
+
+/// Adopt a context on the executing thread: emits the flow-finish ('F') mark
+/// and installs the context as current for the scope's lifetime. Inert when
+/// ctx is inactive or telemetry is disabled at construction.
+class ContextScope {
+ public:
+  explicit ContextScope(const TraceContext& ctx);
+  ~ContextScope();
+  ContextScope(const ContextScope&) = delete;
+  ContextScope& operator=(const ContextScope&) = delete;
+
+ private:
+  detail::ContextFrame frame_;
+  bool installed_ = false;
+};
+
+}  // namespace antarex::telemetry

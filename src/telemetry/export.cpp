@@ -39,6 +39,36 @@ std::string trace_event(const char* name, char phase, double ts_us) {
       json_escape(name).c_str(), phase, ts_us);
 }
 
+// 'B' event carrying causal identity. Ids are decimal *strings*: they are
+// full 64-bit values and JSON numbers lose integer precision past 2^53.
+std::string trace_event_ids(const TraceEvent& e, double ts_us) {
+  return format(
+      "{\"name\":\"%s\",\"cat\":\"antarex\",\"ph\":\"%c\",\"pid\":1,"
+      "\"tid\":1,\"ts\":%.3f,\"args\":{\"trace_id\":\"%llu\","
+      "\"span_id\":\"%llu\",\"parent_id\":\"%llu\"}}",
+      json_escape(e.name).c_str(), e.phase, ts_us,
+      static_cast<unsigned long long>(e.trace_id),
+      static_cast<unsigned long long>(e.span_id),
+      static_cast<unsigned long long>(e.parent_id));
+}
+
+// 'S'/'F' causal marks become Chrome flow start/finish events, the arrows
+// that stitch a stolen task back to its submitter in the timeline view.
+// "bp":"e" binds the finish to the enclosing slice.
+std::string flow_event(const TraceEvent& e, double ts_us) {
+  if (e.phase == 'S')
+    return format(
+        "{\"name\":\"%s\",\"cat\":\"antarex\",\"ph\":\"s\",\"id\":\"%llx\","
+        "\"pid\":1,\"tid\":1,\"ts\":%.3f}",
+        json_escape(e.name).c_str(),
+        static_cast<unsigned long long>(e.span_id), ts_us);
+  return format(
+      "{\"name\":\"%s\",\"cat\":\"antarex\",\"ph\":\"f\",\"bp\":\"e\","
+      "\"id\":\"%llx\",\"pid\":1,\"tid\":1,\"ts\":%.3f}",
+      json_escape(e.name).c_str(), static_cast<unsigned long long>(e.span_id),
+      ts_us);
+}
+
 }  // namespace
 
 std::string chrome_trace_json(const Registry& registry) {
@@ -54,7 +84,15 @@ std::string chrome_trace_json(const Registry& registry) {
   for (const TraceEvent& e : events) {
     const double ts_us = static_cast<double>(e.ts_ns - t0) / 1000.0;
     last_ts_us = ts_us;
-    if (e.phase == 'B') {
+    if (e.phase == 'S' || e.phase == 'F') {
+      // Causal flow marks: exported as flow events, never part of the
+      // begin/end balancing below.
+      body.add(flow_event(e, ts_us));
+    } else if (e.trace_id != 0) {
+      // Id-carrying spans pair by span_id, not by stack position — correct
+      // even when workers interleave events from several requests.
+      body.add(trace_event_ids(e, ts_us));
+    } else if (e.phase == 'B') {
       body.add(trace_event(e.name, 'B', ts_us));
       open.push_back(e.name);
     } else if (!open.empty()) {

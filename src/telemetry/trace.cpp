@@ -35,6 +35,17 @@ void TraceBuffer::push(const char* name, char phase) {
   events_.push_back(TraceEvent{name, ts, phase});
 }
 
+void TraceBuffer::push(const char* name, char phase, u64 trace_id, u64 span_id,
+                       u64 parent_id) {
+  const u64 ts = now_fn_();
+  std::lock_guard<std::mutex> lock(mu_);
+  if (events_.size() >= capacity_) {
+    ++dropped_;
+    return;
+  }
+  events_.push_back(TraceEvent{name, ts, phase, trace_id, span_id, parent_id});
+}
+
 std::vector<TraceEvent> TraceBuffer::snapshot() const {
   std::lock_guard<std::mutex> lock(mu_);
   return events_;
@@ -96,18 +107,34 @@ SpanExitHook span_exit_hook() {
 
 ScopedSpan::ScopedSpan(const char* name) : name_(name), active_(enabled()) {
   if (!active_) return;
-  Registry::global().trace().push(name_, 'B');
+  TraceBuffer& buf = Registry::global().trace();
+  if (detail::ContextFrame* parent = detail::context_top()) {
+    frame_.ctx = parent->ctx.child(parent->next_child++);
+    detail::push_context_frame(&frame_);
+    framed_ = true;
+    buf.push(name_, 'B', frame_.ctx.trace_id, frame_.ctx.span_id,
+             frame_.ctx.parent_id);
+  } else {
+    buf.push(name_, 'B');
+  }
   if (SpanEnterHook hook = span_enter_hook()) hook(name_);
-  if (span_exit_hook()) start_ns_ = Registry::global().trace().now_ns();
+  if (span_exit_hook()) start_ns_ = buf.now_ns();
 }
 
 ScopedSpan::~ScopedSpan() {
   // Close the span even if telemetry was switched off mid-flight, so the
   // buffer stays balanced.
   if (!active_) return;
-  Registry::global().trace().push(name_, 'E');
+  TraceBuffer& buf = Registry::global().trace();
+  if (framed_) {
+    buf.push(name_, 'E', frame_.ctx.trace_id, frame_.ctx.span_id,
+             frame_.ctx.parent_id);
+    detail::pop_context_frame(&frame_);
+  } else {
+    buf.push(name_, 'E');
+  }
   if (SpanExitHook hook = span_exit_hook())
-    hook(name_, start_ns_, Registry::global().trace().now_ns());
+    hook(name_, start_ns_, buf.now_ns());
 }
 
 ScopedTimer::ScopedTimer(Histogram& sink)

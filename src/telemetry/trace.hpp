@@ -12,6 +12,7 @@
 #include <vector>
 
 #include "support/common.hpp"
+#include "telemetry/context.hpp"
 #include "telemetry/enable.hpp"
 
 namespace antarex::telemetry {
@@ -21,7 +22,11 @@ class Histogram;
 struct TraceEvent {
   const char* name;  ///< must outlive the buffer (string literal or interned)
   u64 ts_ns;         ///< monotonic timestamp
-  char phase;        ///< 'B' (begin) or 'E' (end)
+  char phase;        ///< 'B'/'E' span, 'S'/'F' causal flow start/finish
+  // Causal identity (0 = span opened outside any context; see context.hpp).
+  u64 trace_id = 0;
+  u64 span_id = 0;
+  u64 parent_id = 0;
 };
 
 /// Bounded event buffer with drop accounting. Safe for concurrent writers
@@ -36,6 +41,9 @@ class TraceBuffer {
   explicit TraceBuffer(std::size_t capacity = kDefaultCapacity);
 
   void push(const char* name, char phase);
+  /// Push with causal identity (ScopedSpan under a context, flow marks).
+  void push(const char* name, char phase, u64 trace_id, u64 span_id,
+            u64 parent_id);
 
   const std::vector<TraceEvent>& events() const { return events_; }
   /// Locked copy of the buffer — the only safe read while writers are live.
@@ -80,6 +88,13 @@ SpanExitHook span_exit_hook();
 
 /// RAII trace span. Use via TELEMETRY_SPAN("subsystem.operation"); the name
 /// must be a string literal (stored by pointer, never copied).
+///
+/// When a causal context is current on this thread (ContextScope or an
+/// enclosing ScopedSpan installed one), the span allocates the next child
+/// slot of that context, stamps its B/E events with the derived ids, and
+/// becomes the current context itself — so nesting and cross-thread
+/// adoption compose into one deterministic id tree. Outside any context the
+/// events carry zero ids, exactly as before contexts existed.
 class ScopedSpan {
  public:
   explicit ScopedSpan(const char* name);
@@ -87,10 +102,15 @@ class ScopedSpan {
   ScopedSpan(const ScopedSpan&) = delete;
   ScopedSpan& operator=(const ScopedSpan&) = delete;
 
+  /// The span's causal identity (inactive when opened outside a context).
+  const TraceContext& context() const { return frame_.ctx; }
+
  private:
   const char* name_;
   bool active_;
-  u64 start_ns_ = 0;  ///< sampled only when an exit hook is installed
+  bool framed_ = false;  ///< true when this span installed a context frame
+  u64 start_ns_ = 0;     ///< sampled only when an exit hook is installed
+  detail::ContextFrame frame_;
 };
 
 /// RAII timer recording its elapsed seconds into a telemetry Histogram on

@@ -1,0 +1,10 @@
+// Nightly 1000-seed causal-property sweep (ctest -L long). The default tier
+// runs the 48-seed fast slice of the same suite from test_fuzz.cpp.
+#include "causal_props.hpp"
+
+namespace antarex::causal {
+
+INSTANTIATE_TEST_SUITE_P(ThousandSeeds, CausalProps,
+                         ::testing::Range<u64>(1, 1001));
+
+}  // namespace antarex::causal

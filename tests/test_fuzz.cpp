@@ -340,3 +340,21 @@ namespace antarex::search {
 INSTANTIATE_TEST_SUITE_P(FastSeeds, SearchProps, ::testing::Range<u64>(1, 49));
 
 }  // namespace antarex::search
+
+// ---------------------------------------------------------------------------
+// Causal-propagation property sweep (fast slice).
+//
+// The request-scoped tracing invariant suite the nightly tier sweeps over
+// 1000 seeds (test_causal_long.cpp) runs here over 48 seeds so every default
+// test run exercises randomized request fleets on a real work-stealing pool:
+// every span reaches its trace root (zero orphans), critical paths stay
+// within wall time, latency decompositions cover the request, and the
+// reconstructed tree structure is byte-identical across 1/2/8 workers.
+// ---------------------------------------------------------------------------
+#include "causal_props.hpp"
+
+namespace antarex::causal {
+
+INSTANTIATE_TEST_SUITE_P(FastSeeds, CausalProps, ::testing::Range<u64>(1, 49));
+
+}  // namespace antarex::causal

@@ -5,7 +5,8 @@
 //
 //   antarex-report <trace.json> [--metrics <metrics.json>]
 //                  [--attribution <attribution.json>]
-//                  [--monitor <health.json>] [--title <title>]
+//                  [--monitor <health.json>]
+//                  [--decisions <decisions.json>] [--title <title>]
 //                  [-o <out.html>]
 //   antarex-report --selftest
 //
@@ -31,13 +32,15 @@ int usage() {
       "usage: antarex-report <trace.json> [--metrics <metrics.json>]\n"
       "                      [--attribution <attribution.json>]\n"
       "                      [--monitor <health.json>]\n"
+      "                      [--decisions <decisions.json>]\n"
       "                      [--title <title>] [-o <out.html>]\n"
       "       antarex-report --selftest\n"
       "\n"
       "Renders a self-contained HTML report (flame timeline, per-span\n"
-      "summary, metrics tables, energy attribution, cluster health) from\n"
-      "the JSON artifacts a telemetry-enabled run writes. No scripts, no\n"
-      "external fetches — the output opens anywhere.\n");
+      "summary, metrics tables, energy attribution, cluster health, and\n"
+      "the decision-provenance explain timeline) from the JSON artifacts\n"
+      "a telemetry-enabled run writes. No scripts, no external fetches —\n"
+      "the output opens anywhere.\n");
   return 2;
 }
 
@@ -88,6 +91,16 @@ int selftest() {
       "\"open\":false},{\"node\":0,\"shard\":0,\"kind\":\"slow_node\","
       "\"open_s\":5.0,\"close_s\":8.0,\"peak_z\":6.2,\"samples\":4,"
       "\"open\":true}]}";
+  inputs.decisions_json =
+      "{\"schema\":\"antarex.causal.decisions/v1\",\"decisions\":["
+      "{\"seq\":1,\"t_s\":4.0,\"actor\":\"monitor.detector\","
+      "\"action\":\"episode_open:throttle\",\"cause\":\"node 3 shard 1 "
+      "z=9.50\",\"cause_value\":9.5,\"effect\":\"closed after 2.00s, 3 "
+      "samples, peak z=9.50\",\"effect_value\":9.5},"
+      "{\"seq\":2,\"t_s\":4.5,\"actor\":\"govern.coordinator\","
+      "\"action\":\"restrict:dvfs\",\"cause\":\"epoch mean 240.0 W > "
+      "effective cap 220.0 W for 2 epochs\",\"cause_value\":240.0}],"
+      "\"dropped\":0}";
   const std::string html = obs::html_report(inputs);
   const auto has = [&html](const char* needle) {
     return html.find(needle) != std::string::npos;
@@ -103,6 +116,9 @@ int selftest() {
                 "selftest: cluster-health section missing");
   ANTAREX_CHECK(has("throttle") && has("slow_node"),
                 "selftest: anomaly episodes missing from timeline");
+  ANTAREX_CHECK(has("Decision provenance") && has("episode_open:throttle") &&
+                    has("restrict:dvfs") && has("(pending)"),
+                "selftest: decision-provenance section missing");
   ANTAREX_CHECK(!has("<script"), "selftest: report must not contain scripts");
   std::printf("antarex-report selftest OK (%zu bytes of HTML)\n", html.size());
   return 0;
@@ -138,6 +154,8 @@ int main(int argc, char** argv) {
         inputs.attribution_json = read_file(value());
       } else if (arg == "--monitor") {
         inputs.health_json = read_file(value());
+      } else if (arg == "--decisions") {
+        inputs.decisions_json = read_file(value());
       } else if (arg == "--title") {
         inputs.title = value();
       } else if (arg == "-o" || arg == "--output") {
