@@ -10,6 +10,8 @@
 #include "nav/nav.hpp"
 #include "passes/pass_manager.hpp"
 #include "passes/specialize.hpp"
+#include "rtrm/cluster.hpp"
+#include "rtrm/sharded_cluster.hpp"
 #include "support/strings.hpp"
 #include "vm/compiler.hpp"
 #include "vm/engine.hpp"
@@ -197,6 +199,33 @@ void BM_DockScorePose(benchmark::State& state) {
                           static_cast<i64>(mol.atoms.size()));
 }
 BENCHMARK(BM_DockScorePose);
+
+// Per-tick cluster stepping cost, legacy AoS vs sharded SoA. The sharded
+// variants are pre-settled (one long warm-up run) so the calendar holds only
+// parked nodes: the steady-state tick is what an exascale-length run pays
+// almost everywhere, and a parking regression shows up here as a jump from
+// nanoseconds back to the O(nodes) legacy cost.
+void BM_ClusterTickLegacy(benchmark::State& state) {
+  const auto nodes = static_cast<std::size_t>(state.range(0));
+  rtrm::Cluster cluster;
+  rtrm::ClusterBlueprint::exascale(7, nodes).build(cluster);
+  cluster.run_for(600.0, 0.25);  // same thermal settling as the sharded runs
+  for (auto _ : state) cluster.run_for(0.25, 0.25);
+  state.SetItemsProcessed(state.iterations() * static_cast<i64>(nodes));
+}
+BENCHMARK(BM_ClusterTickLegacy)->Arg(256)->Arg(1024);
+
+void BM_ClusterTickSharded(benchmark::State& state) {
+  const auto nodes = static_cast<std::size_t>(state.range(0));
+  rtrm::ShardedClusterConfig cfg;
+  cfg.shards = std::max<std::size_t>(8, nodes / 1024);
+  rtrm::ShardedCluster cluster(cfg);
+  rtrm::ClusterBlueprint::exascale(7, nodes).build(cluster);
+  cluster.run_for(600.0, 0.25);  // park the fleet at its thermal fixed point
+  for (auto _ : state) cluster.run_for(0.25, 0.25);
+  state.SetItemsProcessed(state.iterations() * static_cast<i64>(nodes));
+}
+BENCHMARK(BM_ClusterTickSharded)->Arg(256)->Arg(1024)->Arg(16384);
 
 }  // namespace
 

@@ -58,6 +58,11 @@ void CapCoordinator::attach() {
   over_streak_ = under_streak_ = 0;
   attach_s_ = cluster_.now_s();
   last_alive_ = n - cluster_.nodes_down();
+  device_index_.clear();
+  for (std::size_t i = 0; i < n; ++i)
+    for (std::size_t d = 0; d < cluster_.nodes()[i].device_count(); ++d)
+      device_index_.emplace(cluster_.nodes()[i].device(d).name(),
+                            std::make_pair(i, d));
   attached_ = true;
   renegotiate();  // initial budgets from floors (no demand observed yet)
 
@@ -162,25 +167,32 @@ void CapCoordinator::on_step(double now_s, double it_power_w, double dt_s) {
   const auto& nodes = cluster_.nodes();
   if (node_epoch_j_.size() < nodes.size())
     node_epoch_j_.resize(nodes.size(), 0.0);
-  for (std::size_t i = 0; i < nodes.size(); ++i)
-    node_epoch_j_[i] += nodes[i].power_w() * dt_s;
+  // Reuse the powers the stepper just committed instead of re-walking every
+  // device model; nothing moved between the commit and this observer, so the
+  // values are the ones power_w() would recompute.
+  const auto& node_power = cluster_.last_node_power_w();
+  if (node_power.size() == nodes.size()) {
+    for (std::size_t i = 0; i < nodes.size(); ++i)
+      node_epoch_j_[i] += node_power[i] * dt_s;
+  } else {  // before the first step (attach-time callbacks)
+    for (std::size_t i = 0; i < nodes.size(); ++i)
+      node_epoch_j_[i] += nodes[i].power_w() * dt_s;
+  }
 
   // Per-job ledger: each busy device's draw goes to the job it is running.
   // (Node base power stays unattributed — it is not any job's doing.)
-  const auto& running = cluster_.dispatcher().running_jobs();
-  if (!running.empty()) {
-    std::map<u64, const rtrm::Job*> by_id;
-    for (const auto& job : running) by_id[job.id] = &job;
-    for (const auto& node : nodes) {
-      if (node.failed()) continue;
-      for (const auto& dev : node.devices()) {
-        const auto jid = dev.running_job();
-        if (!jid) continue;
-        const auto hit = by_id.find(*jid);
-        if (hit == by_id.end()) continue;
-        job_energy_.add(hit->second->name, dev.power_w() * dt_s, dt_s);
-      }
-    }
+  // Each running job names its device, so walking the running set costs
+  // O(jobs) per tick; per-job sums land in the same order as the legacy
+  // every-device scan (one add per job per step, table ordered by key).
+  for (const auto& job : cluster_.dispatcher().running_jobs()) {
+    const auto hit = device_index_.find(job.device_name);
+    if (hit == device_index_.end()) continue;
+    const auto [ni, di] = hit->second;
+    const rtrm::Node& node = nodes[ni];
+    if (node.failed()) continue;
+    const rtrm::Device& dev = node.device(di);
+    if (dev.running_job() != std::optional<u64>(job.id)) continue;
+    job_energy_.add(job.name, dev.power_w() * dt_s, dt_s);
   }
 
   if (epoch_t_ + 1e-9 >= cfg_.epoch_s) close_epoch(now_s);

@@ -35,6 +35,8 @@
 
 #include <memory>
 #include <string>
+#include <unordered_map>
+#include <utility>
 #include <vector>
 
 #include "govern/actuator.hpp"
@@ -123,6 +125,11 @@ class CapCoordinator {
   std::vector<double> budgets_w_;
   std::vector<double> ext_weight_;  ///< set_node_weight multipliers
   obs::AttributionTable job_energy_;
+  /// Device name -> (node, device) indices, built at attach(): the per-step
+  /// job-energy ledger walks the running set (O(jobs)) instead of every
+  /// device in the cluster (O(devices)) per tick.
+  std::unordered_map<std::string, std::pair<std::size_t, std::size_t>>
+      device_index_;
   CapStats stats_;
 
   bool attached_ = false;

@@ -37,6 +37,9 @@ class PolicyEngine;
 namespace antarex::govern {
 class CapCoordinator;
 }
+namespace antarex::rtrm {
+class ShardedCluster;
+}
 
 namespace antarex::monitor {
 
@@ -59,6 +62,11 @@ class MonitorFabric {
   /// aggregator and detector to the broker. The fabric must outlive the
   /// cluster's run. Call once.
   void attach(rtrm::Cluster& cluster);
+
+  /// Same fabric over the SoA engine: sampling reads the ShardedCluster's
+  /// batched per-device counters (a read catches parked state up without
+  /// waking it, so monitoring never perturbs the plant or its parking).
+  void attach(rtrm::ShardedCluster& cluster);
 
   const FabricConfig& config() const { return cfg_; }
   u16 shard_of(std::size_t node) const {
@@ -95,6 +103,10 @@ class MonitorFabric {
  private:
   void on_step(rtrm::Cluster& cluster, double now_s);
   void sample(rtrm::Cluster& cluster, double now_s, double elapsed_s);
+  void on_step_sharded(rtrm::ShardedCluster& cluster, double now_s);
+  void sample_sharded(rtrm::ShardedCluster& cluster, double now_s,
+                      double elapsed_s);
+  void prime_sharded(rtrm::ShardedCluster& cluster);
 
   FabricConfig cfg_;
   Broker broker_;

@@ -20,26 +20,51 @@ PowerModel::PowerModel(DeviceSpec spec, Variability var)
   v_nom_ = spec_.dvfs.highest().voltage_v;
 }
 
-double PowerModel::dynamic_power_w(const OperatingPoint& op, double activity) const {
+double PowerModel::dynamic_power_w(const DeviceSpec& spec,
+                                   const Variability& var,
+                                   const OperatingPoint& op, double activity) {
   ANTAREX_REQUIRE(activity >= 0.0 && activity <= 1.0,
                   "PowerModel: activity outside [0, 1]");
   // C [nF] * V^2 [V^2] * f [GHz] -> nF * GHz = 1, so the product is in watts.
-  return spec_.c_eff_nf * var_.ceff_mult * op.voltage_v * op.voltage_v *
+  return spec.c_eff_nf * var.ceff_mult * op.voltage_v * op.voltage_v *
          op.freq_ghz * activity;
 }
 
+double PowerModel::static_power_w(const DeviceSpec& spec,
+                                  const Variability& var, double v_nom,
+                                  const OperatingPoint& op, double temp_c) {
+  return spec.leak_w_ref * var.leak_mult * (op.voltage_v / v_nom) *
+         std::exp(spec.leak_temp_coeff * (temp_c - 50.0));
+}
+
+double PowerModel::total_power_w(const DeviceSpec& spec, const Variability& var,
+                                 double v_nom, const OperatingPoint& op,
+                                 double activity, double temp_c) {
+  return dynamic_power_w(spec, var, op, activity) +
+         static_power_w(spec, var, v_nom, op, temp_c);
+}
+
+double PowerModel::idle_power_w(const DeviceSpec& spec, const Variability& var,
+                                double v_nom, const OperatingPoint& op,
+                                double temp_c) {
+  return total_power_w(spec, var, v_nom, op, spec.idle_activity, temp_c);
+}
+
+double PowerModel::dynamic_power_w(const OperatingPoint& op, double activity) const {
+  return dynamic_power_w(spec_, var_, op, activity);
+}
+
 double PowerModel::static_power_w(const OperatingPoint& op, double temp_c) const {
-  return spec_.leak_w_ref * var_.leak_mult * (op.voltage_v / v_nom_) *
-         std::exp(spec_.leak_temp_coeff * (temp_c - 50.0));
+  return static_power_w(spec_, var_, v_nom_, op, temp_c);
 }
 
 double PowerModel::total_power_w(const OperatingPoint& op, double activity,
                                  double temp_c) const {
-  return dynamic_power_w(op, activity) + static_power_w(op, temp_c);
+  return total_power_w(spec_, var_, v_nom_, op, activity, temp_c);
 }
 
 double PowerModel::idle_power_w(const OperatingPoint& op, double temp_c) const {
-  return total_power_w(op, spec_.idle_activity, temp_c);
+  return idle_power_w(spec_, var_, v_nom_, op, temp_c);
 }
 
 double WorkloadModel::execution_time_s(const OperatingPoint& op) const {
@@ -54,15 +79,23 @@ double WorkloadModel::memory_boundedness(const OperatingPoint& op) const {
   return t > 0.0 ? mem_seconds / t : 0.0;
 }
 
-double energy_j(const PowerModel& pm, const WorkloadModel& w,
-                const OperatingPoint& op, double units, double temp_c) {
+double energy_j(const DeviceSpec& spec, const Variability& var, double v_nom,
+                const WorkloadModel& w, const OperatingPoint& op, double units,
+                double temp_c) {
   ANTAREX_REQUIRE(units >= 0.0, "energy_j: negative work");
   const double t = w.execution_time_s(op) * units;
   // During memory stalls the core switches less; blend activity accordingly.
   const double mem_frac = w.memory_boundedness(op);
   const double eff_activity =
       w.activity * (1.0 - mem_frac) + 0.25 * w.activity * mem_frac;
-  return pm.total_power_w(op, eff_activity, temp_c) * t;
+  return PowerModel::total_power_w(spec, var, v_nom, op, eff_activity, temp_c) *
+         t;
+}
+
+double energy_j(const PowerModel& pm, const WorkloadModel& w,
+                const OperatingPoint& op, double units, double temp_c) {
+  return energy_j(pm.spec(), pm.variability(), pm.v_nom(), w, op, units,
+                  temp_c);
 }
 
 NodeEnergyModel::NodeEnergyModel(PowerModel pm, double base_power_w,

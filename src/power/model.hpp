@@ -40,8 +40,25 @@ class PowerModel {
                        double temp_c) const;
   double idle_power_w(const OperatingPoint& op, double temp_c) const;
 
+  /// Stateless cores of the instance methods above. The SoA cluster engine
+  /// (rtrm::ShardedCluster) evaluates these directly so both simulation paths
+  /// execute the *same machine code* and stay bit-identical; the instance
+  /// methods delegate here.
+  static double dynamic_power_w(const DeviceSpec& spec, const Variability& var,
+                                const OperatingPoint& op, double activity);
+  static double static_power_w(const DeviceSpec& spec, const Variability& var,
+                               double v_nom, const OperatingPoint& op,
+                               double temp_c);
+  static double total_power_w(const DeviceSpec& spec, const Variability& var,
+                              double v_nom, const OperatingPoint& op,
+                              double activity, double temp_c);
+  static double idle_power_w(const DeviceSpec& spec, const Variability& var,
+                             double v_nom, const OperatingPoint& op,
+                             double temp_c);
+
   const DeviceSpec& spec() const { return spec_; }
   const Variability& variability() const { return var_; }
+  double v_nom() const { return v_nom_; }
 
  private:
   DeviceSpec spec_;
@@ -70,6 +87,13 @@ struct WorkloadModel {
 /// building block).
 double energy_j(const PowerModel& pm, const WorkloadModel& w,
                 const OperatingPoint& op, double units, double temp_c);
+
+/// Stateless form of energy_j for callers that keep (spec, variability)
+/// out-of-line instead of owning a PowerModel (the SoA cluster engine).
+/// The PowerModel overload delegates here.
+double energy_j(const DeviceSpec& spec, const Variability& var, double v_nom,
+                const WorkloadModel& w, const OperatingPoint& op, double units,
+                double temp_c);
 
 /// The operating point of the table minimizing energy_j (the paper's
 /// "optimal selection of operating points"); ties broken toward higher

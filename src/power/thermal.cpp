@@ -10,11 +10,18 @@ ThermalModel::ThermalModel(double r_th_c_per_w, double tau_s, double initial_c)
 }
 
 void ThermalModel::step(double power_w, double ambient_c, double dt_s) {
+  temp_c_ = stepped_c(temp_c_, power_w, ambient_c, dt_s, r_th_, tau_s_);
+}
+
+double ThermalModel::stepped_c(double temp_c, double power_w, double ambient_c,
+                               double dt_s, double r_th_c_per_w,
+                               double tau_s) {
   ANTAREX_REQUIRE(dt_s >= 0.0, "ThermalModel: negative time step");
-  const double target = steady_state_c(power_w, ambient_c);
+  const double target = ambient_c + power_w * r_th_c_per_w;
   // Exact exponential integration — stable for any dt.
-  const double alpha = 1.0 - std::exp(-dt_s / tau_s_);
-  temp_c_ += (target - temp_c_) * alpha;
+  const double alpha = 1.0 - std::exp(-dt_s / tau_s);
+  temp_c += (target - temp_c) * alpha;
+  return temp_c;
 }
 
 double ThermalModel::steady_state_c(double power_w, double ambient_c) const {

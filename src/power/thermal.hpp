@@ -11,12 +11,25 @@ namespace antarex::power {
 
 class ThermalModel {
  public:
+  /// Defaults shared with the SoA cluster engine, which stores temperatures
+  /// in flat arrays instead of owning ThermalModel instances.
+  static constexpr double kDefaultRth = 0.25;
+  static constexpr double kDefaultTau = 12.0;
+  static constexpr double kDefaultInitialC = 40.0;
+
   /// r_th: steady-state C/W above ambient; tau: thermal time constant.
-  ThermalModel(double r_th_c_per_w = 0.25, double tau_s = 12.0,
-               double initial_c = 40.0);
+  ThermalModel(double r_th_c_per_w = kDefaultRth, double tau_s = kDefaultTau,
+               double initial_c = kDefaultInitialC);
 
   /// Advance by dt with the given dissipated power and ambient temperature.
   void step(double power_w, double ambient_c, double dt_s);
+
+  /// Stateless core of step(): the temperature after one dt. Shared with the
+  /// SoA cluster engine so both paths run identical machine code; the
+  /// instance method delegates here.
+  static double stepped_c(double temp_c, double power_w, double ambient_c,
+                          double dt_s, double r_th_c_per_w = kDefaultRth,
+                          double tau_s = kDefaultTau);
 
   double temperature_c() const { return temp_c_; }
   void reset(double temp_c) { temp_c_ = temp_c; }

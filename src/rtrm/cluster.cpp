@@ -26,6 +26,7 @@ void Cluster::fail_node(std::size_t i) {
   ANTAREX_REQUIRE(i < nodes_.size(), "Cluster: node index out of range");
   if (nodes_[i].failed()) return;
   dispatcher_.on_node_failed(nodes_[i].fail(), clock_.now());
+  ++down_count_;
   TELEMETRY_COUNT("rtrm.node_crashes", 1);
   TELEMETRY_GAUGE("rtrm.nodes_down", static_cast<double>(nodes_down()));
 }
@@ -34,13 +35,9 @@ void Cluster::repair_node(std::size_t i) {
   ANTAREX_REQUIRE(i < nodes_.size(), "Cluster: node index out of range");
   if (!nodes_[i].failed()) return;
   nodes_[i].repair();
+  --down_count_;
   TELEMETRY_COUNT("rtrm.node_repairs", 1);
   TELEMETRY_GAUGE("rtrm.nodes_down", static_cast<double>(nodes_down()));
-}
-
-std::size_t Cluster::nodes_down() const {
-  return static_cast<std::size_t>(std::count_if(
-      nodes_.begin(), nodes_.end(), [](const Node& n) { return n.failed(); }));
 }
 
 void Cluster::control_step() {
@@ -75,7 +72,8 @@ void Cluster::run_for(double duration_s, double dt_s) {
   ANTAREX_REQUIRE(duration_s >= 0.0 && dt_s > 0.0, "Cluster: bad run parameters");
   const double end = clock_.now() + duration_s;
   std::vector<std::vector<u64>> finished(nodes_.size());
-  std::vector<double> node_power(nodes_.size(), 0.0);
+  std::vector<double>& node_power = last_node_power_w_;
+  node_power.resize(nodes_.size(), 0.0);
   while (clock_.now() < end - 1e-12) {
     const double step = std::min(dt_s, end - clock_.now());
 

@@ -66,7 +66,17 @@ class Cluster {
   void fail_node(std::size_t i);
   /// Bring node i back online; it accepts work again on the next place().
   void repair_node(std::size_t i);
-  std::size_t nodes_down() const;
+  /// O(1): maintained on fail/repair instead of rescanning every node — the
+  /// fault injector and cap coordinator poll this every step.
+  std::size_t nodes_down() const { return down_count_; }
+
+  /// Per-node power committed by the most recent simulation step, in node
+  /// order (empty before the first step). Lets per-step consumers (the cap
+  /// coordinator's energy ledger) reuse the stepper's own evaluations
+  /// instead of re-walking every device model per tick.
+  const std::vector<double>& last_node_power_w() const {
+    return last_node_power_w_;
+  }
 
   /// Step the plant's nodes on a thread pool (grain = one node per task).
   /// Completions are still committed serially in node-index order, so the
@@ -143,6 +153,8 @@ class Cluster {
   std::size_t op_step_down_ = 0;
   bool trace_node_power_ = false;
   exec::ThreadPool* pool_ = nullptr;
+  std::size_t down_count_ = 0;
+  std::vector<double> last_node_power_w_;
 };
 
 }  // namespace antarex::rtrm

@@ -358,3 +358,21 @@ namespace antarex::causal {
 INSTANTIATE_TEST_SUITE_P(FastSeeds, CausalProps, ::testing::Range<u64>(1, 49));
 
 }  // namespace antarex::causal
+
+// ---------------------------------------------------------------------------
+// Sharded-cluster property sweep (fast slice).
+//
+// The sharding invariant suite the nightly tier sweeps over 1000 seeds
+// (test_sharded_long.cpp) runs here over 48 seeds so every default test run
+// exercises the SoA engine against randomized heterogeneous plants: energy
+// conservation to 1e-9, no lost jobs, monotone virtual time, and
+// byte-identical state traces across shard and worker counts.
+// ---------------------------------------------------------------------------
+#include "sharded_props.hpp"
+
+namespace antarex::rtrm {
+
+INSTANTIATE_TEST_SUITE_P(FastSeeds, ShardedClusterProps,
+                         ::testing::Range<u64>(1, 49));
+
+}  // namespace antarex::rtrm
